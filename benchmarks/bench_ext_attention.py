@@ -1,0 +1,88 @@
+"""Extension: attention-kernel optimization (paper Section 7).
+
+The paper's Discussion projects attention kernels as COMET's next step,
+citing FlashAttention and Flash-Decoding, and reports that GEMM and
+attention occupy ~65% and ~32% of LLM runtime.  This bench quantifies both
+claims on the simulator:
+
+* the runtime breakdown of a COMET engine on a long-context workload;
+* end-to-end gains from swapping naive attention for the flash kernels,
+  with and without KV4 (they compose: KV4 shrinks the bytes, flash kernels
+  stream them at full bandwidth).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_util import emit, format_table
+from repro.model.config import get_model_config
+from repro.serving.engine import EngineConfig, ServingEngine
+from repro.serving.request import make_batch_requests
+from repro.serving.systems import build_system
+
+MODEL = "llama-3-8b"
+PROMPT, OUT, BATCH = 2048, 256, 16
+
+
+def run_attention_ext():
+    cfg = get_model_config(MODEL)
+    rows = []
+    for sysname in ("trtllm-w4a16", "comet"):
+        for attn in ("naive", "flash"):
+            engine = ServingEngine(
+                cfg,
+                build_system(sysname),
+                config=EngineConfig(
+                    max_batch=BATCH,
+                    decode_attention=attn,
+                    prefill_attention=attn,
+                ),
+            )
+            rep = engine.run(make_batch_requests(BATCH, PROMPT, OUT))
+            bd = rep.runtime_breakdown()
+            rows.append(
+                {
+                    "system": sysname,
+                    "attention": attn,
+                    "throughput": rep.throughput,
+                    "gemm_frac": bd["gemm"],
+                    "attn_frac": bd["attention"],
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="ext-attention")
+def test_ext_attention(benchmark):
+    rows = benchmark.pedantic(run_attention_ext, rounds=1, iterations=1)
+    table = [
+        [r["system"], r["attention"], r["throughput"],
+         100 * r["gemm_frac"], 100 * r["attn_frac"]]
+        for r in rows
+    ]
+    emit(
+        "ext_attention",
+        format_table(
+            f"Extension (paper Section 7) — attention kernels, {MODEL}, "
+            f"{PROMPT}/{OUT}, batch {BATCH}",
+            ["system", "attention", "tput tok/s", "GEMM %", "attention %"],
+            table,
+            notes=[
+                "Paper: GEMM ~65% / attention ~32% of runtime; flash-style "
+                "attention is 'a promising next step' orthogonal to W4Ax.",
+            ],
+        ),
+    )
+    by = {(r["system"], r["attention"]): r for r in rows}
+    # Flash attention helps both systems (orthogonal to the GEMM kernel).
+    assert by[("comet", "flash")]["throughput"] >= by[("comet", "naive")]["throughput"]
+    assert (
+        by[("trtllm-w4a16", "flash")]["throughput"]
+        >= by[("trtllm-w4a16", "naive")]["throughput"]
+    )
+    # GEMM dominates but attention is a meaningful share (paper: 65/32).
+    comet = by[("comet", "flash")]
+    assert comet["gemm_frac"] > comet["attn_frac"] > 0.05
+    # KV4 + W4Ax (comet) beats W4A16 regardless of the attention kernel.
+    assert by[("comet", "naive")]["throughput"] > by[("trtllm-w4a16", "flash")]["throughput"]

@@ -1,0 +1,117 @@
+"""Extension: serving-scheduler integrations (paper Section 7).
+
+The Discussion lists operator/scheduling optimizations from the serving
+literature (Sarathi-Serve's chunked prefill, vLLM's preemptive paging) as
+complementary to COMET.  This bench quantifies both on the COMET engine:
+
+* chunked prefill vs whole-prompt prefill: worst decode stall and TTFT
+  under an interactive workload with a long arriving prompt;
+* optimistic admission (preemption) vs full-sequence reservation under a
+  memory-tight configuration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_util import emit, format_table
+from repro.model.config import get_model_config
+from repro.serving.engine import EngineConfig, ServingEngine
+from repro.serving.request import Request, make_batch_requests
+from repro.serving.systems import build_system
+
+
+def _stall_requests():
+    reqs = [Request(i, 64, 256, arrival_time=0.0) for i in range(4)]
+    reqs.append(Request(99, 4096, 8, arrival_time=0.05))
+    return reqs
+
+
+def run_chunking():
+    cfg = get_model_config("llama-3-8b")
+    rows = []
+    for chunk in (None, 1024, 512, 256, 128):
+        engine = ServingEngine(
+            cfg,
+            build_system("comet"),
+            config=EngineConfig(max_batch=16, prefill_chunk_tokens=chunk),
+        )
+        rep = engine.run(_stall_requests())
+        rows.append(
+            {
+                "chunk": "whole" if chunk is None else chunk,
+                "stall_ms": rep.max_decode_gap * 1e3,
+                "throughput": rep.throughput,
+            }
+        )
+    return rows
+
+
+def run_preemption():
+    cfg = get_model_config("llama-3-8b")
+    rows = []
+    for reserve in (True, False):
+        engine = ServingEngine(
+            cfg,
+            build_system("trtllm-fp16"),
+            config=EngineConfig(
+                max_batch=64, hbm_bytes=17.5e9, reserve_full_sequence=reserve
+            ),
+        )
+        cap = engine.kv.token_capacity
+        per = max(cap // 3, 32)
+        reqs = make_batch_requests(6, per // 2, per // 2)
+        rep = engine.run(reqs)
+        rows.append(
+            {
+                "mode": "reserve" if reserve else "optimistic",
+                "peak_batch": rep.peak_batch,
+                "preemptions": rep.preemptions,
+                "throughput": rep.throughput,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="ext-scheduling")
+def test_ext_chunked_prefill(benchmark):
+    rows = benchmark.pedantic(run_chunking, rounds=1, iterations=1)
+    emit(
+        "ext_chunked_prefill",
+        format_table(
+            "Extension (Section 7) — chunked prefill: decode stall vs chunk",
+            ["chunk tokens", "max decode stall (ms)", "tput tok/s"],
+            [[r["chunk"], r["stall_ms"], r["throughput"]] for r in rows],
+            notes=["4 interactive chats + one arriving 4096-token prompt."],
+        ),
+    )
+    whole = rows[0]
+    finest = rows[-1]
+    # Chunking slashes the stall without hurting throughput materially.
+    assert finest["stall_ms"] < 0.2 * whole["stall_ms"]
+    assert finest["throughput"] > 0.8 * whole["throughput"]
+    # Finer chunks, smaller stalls (monotone).
+    stalls = [r["stall_ms"] for r in rows]
+    assert all(a >= b - 1e-9 for a, b in zip(stalls, stalls[1:]))
+
+
+@pytest.mark.benchmark(group="ext-scheduling")
+def test_ext_preemptive_paging(benchmark):
+    rows = benchmark.pedantic(run_preemption, rounds=1, iterations=1)
+    emit(
+        "ext_preemption",
+        format_table(
+            "Extension (Section 7) — optimistic admission vs full reservation",
+            ["mode", "peak batch", "preemptions", "tput tok/s"],
+            [
+                [r["mode"], r["peak_batch"], r["preemptions"], r["throughput"]]
+                for r in rows
+            ],
+            notes=["Memory-tight (1.5 GB KV pool) FP16 llama-3-8b."],
+        ),
+    )
+    reserve, optimistic = rows
+    # Optimistic admission packs more sequences (at the cost of preemptions).
+    assert optimistic["peak_batch"] >= reserve["peak_batch"]
+    assert optimistic["preemptions"] > 0
+    assert reserve["preemptions"] == 0

@@ -1,0 +1,84 @@
+"""Extension: tensor-parallel scaling of COMET serving.
+
+Sweeps TP degree for a small (8B) and a large (70B) model, reporting
+throughput and per-GPU weight memory.  Expected shape: the memory-bound
+70B decode scales well (each GPU streams 1/degree of the weights) and
+FP16-70B becomes feasible at TP>=2 with INT4 weights' capacity headroom;
+the 8B model is launch-overhead-bound and barely scales — the standard
+reason small models serve at TP=1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_util import emit, format_table
+from repro.model.config import get_model_config
+from repro.serving.engine import EngineConfig, ServingEngine
+from repro.serving.request import make_batch_requests
+from repro.serving.systems import build_system
+
+DEGREES = (1, 2, 4, 8)
+
+
+def run_tp_sweep():
+    rows = []
+    for model_name, system in (("llama-3-8b", "comet"), ("llama-3-70b", "comet"),
+                               ("llama-3-70b", "trtllm-fp16")):
+        cfg = get_model_config(model_name)
+        for degree in DEGREES:
+            try:
+                engine = ServingEngine(
+                    cfg,
+                    build_system(system),
+                    config=EngineConfig(max_batch=32, tensor_parallel=degree),
+                )
+            except ValueError:
+                rows.append({"model": model_name, "system": system,
+                             "tp": degree, "tput": None, "weights_gb": None})
+                continue
+            rep = engine.run(make_batch_requests(32, 256, 64))
+            rows.append(
+                {
+                    "model": model_name,
+                    "system": system,
+                    "tp": degree,
+                    "tput": rep.throughput,
+                    "weights_gb": engine.plan.weight_bytes / 1e9 / degree,
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="ext-tp")
+def test_ext_tensor_parallel(benchmark):
+    rows = benchmark.pedantic(run_tp_sweep, rounds=1, iterations=1)
+    emit(
+        "ext_tensor_parallel",
+        format_table(
+            "Extension — tensor-parallel scaling (256/64, batch 32)",
+            ["model", "system", "TP", "tput tok/s", "weights/GPU (GB)"],
+            [
+                [r["model"], r["system"], r["tp"],
+                 r["tput"] if r["tput"] is not None else "OOM",
+                 r["weights_gb"] if r["weights_gb"] is not None else "-"]
+                for r in rows
+            ],
+            notes=[
+                "70B scales (memory-bound); 8B barely does (launch-bound); "
+                "FP16-70B needs TP>=4 (141 GB of weights + KV headroom).",
+            ],
+        ),
+    )
+    by = {(r["model"], r["system"], r["tp"]): r["tput"] for r in rows}
+    # FP16-70B infeasible at TP=1, feasible at TP>=2.
+    assert by[("llama-3-70b", "trtllm-fp16", 1)] is None
+    assert by[("llama-3-70b", "trtllm-fp16", 4)] is not None
+    # COMET-70B scales clearly; 8B modestly.
+    big = by[("llama-3-70b", "comet", 4)] / by[("llama-3-70b", "comet", 1)]
+    small = by[("llama-3-8b", "comet", 4)] / by[("llama-3-8b", "comet", 1)]
+    assert big > 1.6
+    assert small < big
+    # Monotone in degree for the 70B model.
+    seventy = [by[("llama-3-70b", "comet", d)] for d in DEGREES]
+    assert all(a <= b * 1.02 for a, b in zip(seventy, seventy[1:]))

@@ -1,0 +1,84 @@
+"""Figure 14: fine-grained SM scheduling ablation.
+
+Paper claims being reproduced (speedup over the all-W4A8 kernel on LLaMA-3
+GEMMs): a naive mixed-precision kernel yields only ~1.2-1.3x despite the
+2x-faster INT4 tensor cores; tile remapping recovers to ~1.56-1.60x; tile
+decomposition (task stealing) reaches ~1.67-1.71x; and the full COMET-W4Ax
+achieves a large fraction of the Oracle W4A4 kernel (paper: 92.7-97.8%).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from bench_util import emit, format_table
+from repro.gpu.simulator import SchedulePolicy
+from repro.kernels.baselines import OracleW4A4
+from repro.kernels.tiling import GEMMShape
+from repro.kernels.w4ax import W4AxKernel
+from repro.model.config import get_model_config
+
+BATCHES = (16, 64, 256)
+
+POLICIES = [
+    ("naive (wave barriers)", SchedulePolicy.WAVE_BARRIER),
+    ("barrier minimization", SchedulePolicy.STATIC_QUEUE),
+    ("+ tile remapping", SchedulePolicy.BALANCED),
+    ("+ tile decomposition", SchedulePolicy.WORK_STEALING),
+]
+
+
+def run_scheduling():
+    rows = []
+    for model in ("llama-3-8b", "llama-3-70b"):
+        cfg = get_model_config(model)
+        n, k = cfg.linear_shapes()["w_gate"]
+        for batch in BATCHES:
+            shape = GEMMShape(batch, n, k)
+            w4a8 = W4AxKernel(int8_fraction=1.0).latency(shape).seconds
+            oracle = OracleW4A4().latency(shape).seconds
+            entry = {"model": model, "batch": batch}
+            for label, policy in POLICIES:
+                lat = W4AxKernel(policy=policy).latency(shape).seconds
+                entry[label] = w4a8 / lat
+            entry["oracle W4A4"] = w4a8 / oracle
+            entry["% of oracle"] = 100.0 * oracle / (
+                W4AxKernel().latency(shape).seconds
+            )
+            rows.append(entry)
+    return rows
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_scheduling(benchmark):
+    rows = benchmark.pedantic(run_scheduling, rounds=1, iterations=1)
+    labels = [l for l, _ in POLICIES] + ["oracle W4A4", "% of oracle"]
+    table = [
+        [r["model"], r["batch"]] + [r[l] for l in labels] for r in rows
+    ]
+    means = {l: float(np.mean([r[l] for r in rows])) for l in labels}
+    table.append(["avg", ""] + [means[l] for l in labels])
+    emit(
+        "fig14_scheduling",
+        format_table(
+            "Figure 14 — speedup over all-W4A8 kernel by scheduling stage",
+            ["model", "batch"] + labels,
+            table,
+            notes=[
+                "Paper: naive ~1.2-1.3x, remapping ~1.56-1.60x, decomposition "
+                "~1.67-1.71x, COMET at 92.7-97.8% of Oracle W4A4.",
+            ],
+        ),
+    )
+    # Monotone improvement through the scheduling stages.
+    naive = means["naive (wave barriers)"]
+    remap = means["+ tile remapping"]
+    steal = means["+ tile decomposition"]
+    assert naive < remap < steal
+    # Naive gains are limited versus the INT4 tensor cores' 2x potential.
+    assert naive < 1.45
+    # The full kernel reaches a large fraction of the oracle.
+    assert means["% of oracle"] > 70.0
+    # Even the oracle cannot reach 2x over W4A8 (paper's closing remark).
+    assert means["oracle W4A4"] < 2.0

@@ -1,0 +1,69 @@
+"""Figure 2: roofline analysis of activation-activation vs weight-activation
+operators under FP16/INT8/INT4.
+
+Paper claims being reproduced: the attention (activation-activation)
+operator has fixed intensity ~1 and is memory-bound everywhere, so KV4
+raises its attainable throughput ~4x; the linear (weight-activation)
+operator crosses into the compute-bound regime at large batch, where INT4
+tensor cores double INT8 throughput.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_util import emit, format_table
+from repro.analysis.roofline import (
+    activation_activation_intensity,
+    attainable_tput,
+    balance_point,
+    roofline_sweep,
+)
+from repro.gpu.spec import A100_80G_SXM4
+
+
+def run_roofline():
+    return roofline_sweep(A100_80G_SXM4)
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_roofline(benchmark):
+    points = benchmark(run_roofline)
+    rows = [
+        [p.name, p.intensity, p.attainable / 1e12,
+         "memory" if p.memory_bound else "compute"]
+        for p in points
+    ]
+    spec = A100_80G_SXM4
+    emit(
+        "fig2_roofline",
+        format_table(
+            "Figure 2 — A100 roofline points",
+            ["operator", "ops/byte", "attainable TOPS", "bound"],
+            rows,
+            notes=[
+                f"balance points: fp16={balance_point(spec,'fp16'):.0f}, "
+                f"int8={balance_point(spec,'int8'):.0f}, "
+                f"int4={balance_point(spec,'int4'):.0f} ops/byte",
+            ],
+        ),
+    )
+    by_name = {p.name: p for p in points}
+    # Attention memory-bound; KV4 quadruples its attainable throughput.
+    assert by_name["attn-fp16"].memory_bound
+    assert by_name["attn-kv4"].attainable == pytest.approx(
+        4 * by_name["attn-fp16"].attainable
+    )
+    # Large-batch INT4 linears are compute-bound at 2x the INT8 roof.
+    b1024 = by_name["linear-int4-b1024"]
+    assert not b1024.memory_bound
+    assert b1024.attainable == pytest.approx(
+        2 * by_name["linear-int8-b1024"].attainable
+    )
+    # Batch-1 linears are memory-bound at every precision.
+    assert by_name["linear-int4-b1"].memory_bound
+    assert by_name["linear-fp16-b1"].memory_bound
+    # KV4 also helps the memory-bound attention op more than any tensor
+    # core upgrade could (intensity still below every balance point).
+    assert activation_activation_intensity(0.5) < balance_point(spec, "fp16")
+    assert attainable_tput(spec, 1.0, "fp16") == spec.hbm_bandwidth

@@ -1,0 +1,111 @@
+"""Figure 9: kernel latency across GEMM shapes and batch sizes.
+
+Paper claims being reproduced (cuBLAS-W16A16 normalized to 1.0x):
+
+* small batches (2/4/8): every quantized kernel wins modestly and
+  **W4A16 beats W8A8** (loading bound);
+* large batches (16/64/256): **W8A8 overtakes W4A16** (compute bound) and
+  COMET-W4Ax wins everywhere — the paper reports averages of 1.48x (small)
+  and 2.88x (large) over cuBLAS;
+* COMET's fixed 128^3 tiling makes some shapes (e.g. n<<k) less favourable
+  than others, as Section 6.3's "Analysis on Varying Kernels" notes.
+
+The kernel mix is fixed at 75% W4A4 (the paper's lower-bound setting).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from bench_util import emit, format_table
+from repro.kernels.baselines import CuBLASW16A16, TRTLLMW4A16, TRTLLMW8A8
+from repro.kernels.tiling import GEMMShape
+from repro.kernels.w4ax import W4AxKernel
+from repro.model.config import get_model_config
+
+SMALL_BATCHES = (2, 4, 8)
+LARGE_BATCHES = (16, 64, 256)
+
+
+def gemm_shapes():
+    """The paper's kernel workloads: the distinct linear shapes of
+    LLaMA-2-13B and LLaMA-1-65B (5Kx5K, 13.5Kx5K, 5Kx13.5K, 8Kx8K, ...)."""
+    shapes = []
+    for model in ("llama-2-13b", "llama-1-65b"):
+        cfg = get_model_config(model)
+        for key in ("wq", "w_gate", "w_down"):
+            n, k = cfg.linear_shapes()[key]
+            shapes.append((f"{n // 1000}Kx{k // 1000}K", n, k))
+    # Dedup by label, keep order.
+    seen = set()
+    out = []
+    for label, n, k in shapes:
+        if label not in seen:
+            seen.add(label)
+            out.append((label, n, k))
+    return out
+
+
+def run_fig9():
+    kernels = {
+        "cuBLAS-W16A16": CuBLASW16A16(),
+        "TRT-LLM-W4A16": TRTLLMW4A16(),
+        "TRT-LLM-W8A8": TRTLLMW8A8(),
+        "COMET-W4Ax": W4AxKernel(),
+    }
+    rows = []
+    for m in SMALL_BATCHES + LARGE_BATCHES:
+        for label, n, k in gemm_shapes():
+            shape = GEMMShape(m, n, k)
+            lat = {name: kern.latency(shape).seconds for name, kern in kernels.items()}
+            base = lat["cuBLAS-W16A16"]
+            rows.append(
+                {
+                    "batch": m,
+                    "shape": label,
+                    **{name: base / v for name, v in lat.items()},
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_kernel_speedups(benchmark):
+    rows = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    names = ["cuBLAS-W16A16", "TRT-LLM-W4A16", "TRT-LLM-W8A8", "COMET-W4Ax"]
+    table_rows = [
+        [r["batch"], r["shape"]] + [r[n] for n in names] for r in rows
+    ]
+    small = [r for r in rows if r["batch"] in SMALL_BATCHES]
+    large = [r for r in rows if r["batch"] in LARGE_BATCHES]
+
+    def avg(rows_, name):
+        return float(np.mean([r[name] for r in rows_]))
+
+    summary = [
+        ["small avg", ""] + [avg(small, n) for n in names],
+        ["large avg", ""] + [avg(large, n) for n in names],
+    ]
+    emit(
+        "fig9_kernels",
+        format_table(
+            "Figure 9 — kernel speedup over cuBLAS-W16A16 (75% W4A4 mix)",
+            ["batch", "shape"] + names,
+            table_rows + summary,
+            notes=[
+                "Paper averages: small 1.48x / large 2.88x (COMET);",
+                "ordering small: COMET > W4A16 > W8A8; large: COMET > W8A8 > W4A16.",
+            ],
+        ),
+    )
+    # Shape assertions: orderings and the W4A16/W8A8 crossover.
+    assert avg(small, "COMET-W4Ax") > avg(small, "TRT-LLM-W4A16")
+    assert avg(small, "TRT-LLM-W4A16") > avg(small, "TRT-LLM-W8A8")
+    assert avg(large, "COMET-W4Ax") > avg(large, "TRT-LLM-W8A8")
+    assert avg(large, "TRT-LLM-W8A8") > avg(large, "TRT-LLM-W4A16")
+    assert avg(large, "COMET-W4Ax") > 2.0  # paper: 2.88x
+    # Per-shape variance: fixed COMET tiling favours some shapes over
+    # others (Section 6.3 analysis).
+    comet_large = [r["COMET-W4Ax"] for r in large]
+    assert max(comet_large) / min(comet_large) > 1.15

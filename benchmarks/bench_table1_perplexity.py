@@ -1,0 +1,81 @@
+"""Table 1: WikiText2 perplexity of quantized LLMs (synthetic-corpus proxy).
+
+Paper claim being reproduced: FMPQ's W4Ax and W4AxKV4 perplexities sit
+within a few hundredths of the best W4A16 / W8A8 baselines (and close to
+FP16), while a naive full W4A4 quantization degrades perplexity severely.
+
+Our tiny trained models and synthetic corpus shift the absolute numbers,
+but the column ordering — the table's content — must reproduce.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_util import clone_model, emit, format_table, fresh_zoo
+from repro.baselines.registry import apply_quantization, collect_calibration
+from repro.data.perplexity import evaluate_perplexity
+from repro.training.zoo import ZOO_SPECS
+
+#: (column label, registry method) in the paper's row order.
+METHOD_COLUMNS = [
+    ("FP16", "fp16"),
+    ("W8A8 SmoothQuant", "smoothquant-w8a8"),
+    ("W4A16 GPTQ", "gptq-w4a16"),
+    ("W4A16 AWQ", "awq-w4a16"),
+    ("W4A16 Omniquant", "omniquant-w4a16"),
+    ("W4Ax FMPQ", "fmpq-w4ax"),
+    ("W4A4 Omniquant", "omniquant-w4a4"),
+    ("W4A8KV4 QoQ", "qoq-w4a8kv4"),
+    ("W4AxKV4 FMPQ", "fmpq-w4axkv4"),
+]
+
+MODELS = sorted(ZOO_SPECS)
+
+
+def run_table1(models=MODELS, num_sequences=8, seq_len=48):
+    """Compute the full perplexity grid."""
+    grid = {}
+    for model_name in models:
+        entry = fresh_zoo(model_name)
+        calib = collect_calibration(entry.model, entry.corpus, num_sequences=6)
+        row = {}
+        for label, method in METHOD_COLUMNS:
+            model = clone_model(entry)
+            report = apply_quantization(model, method, calib, group_size=16)
+            row[label] = evaluate_perplexity(
+                model,
+                entry.corpus,
+                num_sequences=num_sequences,
+                seq_len=seq_len,
+                kv_config=report.kv_config,
+            )
+        grid[model_name] = row
+    return grid
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_perplexity(benchmark):
+    grid = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    headers = ["model"] + [label for label, _ in METHOD_COLUMNS]
+    rows = [
+        [model] + [grid[model][label] for label, _ in METHOD_COLUMNS]
+        for model in grid
+    ]
+    emit(
+        "table1_perplexity",
+        format_table(
+            "Table 1 — perplexity (synthetic-corpus proxy for WikiText2)",
+            headers,
+            rows,
+            notes=[
+                "Paper shape: FMPQ within noise of W8A8/W4A16; full W4A4 collapses.",
+                "Tiny trained models; absolute values differ from the paper's.",
+            ],
+        ),
+    )
+    # Paper-shape assertions across the grid.
+    for model, row in grid.items():
+        fp16 = row["FP16"]
+        assert row["W4AxKV4 FMPQ"] < fp16 * 1.12, model
+        assert row["W4A4 Omniquant"] > row["W4AxKV4 FMPQ"] * 1.05, model

@@ -1,0 +1,74 @@
+"""Table 2: zero-shot accuracy on five common-sense tasks (synthetic proxy).
+
+Paper claim being reproduced: on the LLaMA-3 family, FMPQ's W4AxKV4 loses
+under ~1 accuracy point versus W4A16 OmniQuant and tracks QoQ, while W8A8
+is near-lossless.  The tiny GQA zoo models stand in for LLaMA-3-8B/70B.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from bench_util import clone_model, emit, format_table, fresh_zoo
+from repro.baselines.registry import apply_quantization, collect_calibration
+from repro.data.tasks import TASK_NAMES, build_task_suite, evaluate_suite
+
+METHOD_ROWS = [
+    ("FP16 Full Precision", "fp16"),
+    ("W8A8 SmoothQuant", "smoothquant-w8a8"),
+    ("W4A16 Omniquant", "omniquant-w4a16"),
+    ("W4A8KV4 QoQ", "qoq-w4a8kv4"),
+    ("W4AxKV4 FMPQ", "fmpq-w4axkv4"),
+]
+
+#: Proxies for the paper's LLaMA-3 8B / 70B rows: both tiny GQA models.
+MODELS = ("tiny-llama-3", "tiny-qwen2")
+
+
+def run_table2(models=MODELS, n_items=40):
+    out = {}
+    for model_name in models:
+        entry = fresh_zoo(model_name)
+        suite = build_task_suite(entry.corpus, n_items=n_items, seed=3)
+        calib = collect_calibration(entry.model, entry.corpus, num_sequences=6)
+        rows = {}
+        for label, method in METHOD_ROWS:
+            model = clone_model(entry)
+            report = apply_quantization(model, method, calib, group_size=16)
+            rows[label] = evaluate_suite(model, suite, kv_config=report.kv_config)
+        out[model_name] = rows
+    return out
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_zeroshot(benchmark):
+    results = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    headers = ["model", "method"] + list(TASK_NAMES) + ["avg"]
+    rows = []
+    for model_name, by_method in results.items():
+        for label, _ in METHOD_ROWS:
+            acc = by_method[label]
+            rows.append(
+                [model_name, label]
+                + [100 * acc[t] for t in TASK_NAMES]
+                + [100 * acc["avg"]]
+            )
+    emit(
+        "table2_zeroshot",
+        format_table(
+            "Table 2 — zero-shot accuracy (%) on the synthetic task suite",
+            headers,
+            rows,
+            notes=[
+                "Paper shape: FMPQ within ~1pt of W4A16 and comparable to QoQ.",
+            ],
+        ),
+    )
+    for model_name, by_method in results.items():
+        fp16 = by_method["FP16 Full Precision"]["avg"]
+        fmpq = by_method["W4AxKV4 FMPQ"]["avg"]
+        # FMPQ stays within a few points of full precision.
+        assert fmpq > fp16 - 0.08, model_name
+        # Scores are well above chance (chance across the suite ~0.35).
+        assert np.mean([fp16, fmpq]) > 0.45, model_name

@@ -1,0 +1,63 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*.py`` module reproduces one table or figure from the paper
+(see DESIGN.md Section 4).  Results are written as formatted text tables to
+``benchmarks/results/`` so the paper-style rows survive pytest's output
+capture, and are also printed (visible with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.model.transformer import Transformer
+from repro.training.zoo import ZooEntry, load_zoo_model
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def clone_model(entry: ZooEntry) -> Transformer:
+    """A fresh unquantized copy of a zoo model."""
+    params = {k: v.copy() for k, v in entry.model.get_params().items()}
+    return Transformer(entry.model.config, params=params)
+
+
+def fresh_zoo(name: str) -> ZooEntry:
+    return load_zoo_model(name)
+
+
+def format_table(
+    title: str,
+    headers: list[str],
+    rows: list[list],
+    notes: list[str] | None = None,
+) -> str:
+    """Render an aligned text table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [title, "=" * len(title), ""]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    if notes:
+        lines.append("")
+        lines.extend(f"NOTE: {n}" for n in notes)
+    lines.append("")
+    return "\n".join(lines)
+
+
+def emit(name: str, text: str) -> None:
+    """Write a result table to disk and echo it to stdout."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print("\n" + text)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}" if abs(cell) < 100 else f"{cell:.1f}"
+    return str(cell)

@@ -1,0 +1,51 @@
+"""Plan a deployment: which system/TP/batch should serve this workload?
+
+Uses the planner to answer an operations question the paper's results
+imply but don't directly tabulate: given N GPUs and a latency SLO, what is
+the best configuration — and how much does COMET's W4A4KV4 stack move the
+answer?
+
+Run:  python examples/deployment_planner.py [model] [num_gpus] [ttft_ms]
+e.g.  python examples/deployment_planner.py qwen2-72b 4 3000
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.model.config import get_model_config
+from repro.serving.planner import plan_deployment
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    model_name = args[0] if args else "llama-3-70b"
+    num_gpus = int(args[1]) if len(args) > 1 else 4
+    ttft_ms = float(args[2]) if len(args) > 2 else None
+    cfg = get_model_config(model_name)
+
+    print(f"planning {cfg.name} on {num_gpus}x A100-80G (simulated), "
+          f"workload 1024/512"
+          + (f", TTFT p95 <= {ttft_ms:.0f} ms" if ttft_ms else ""))
+    plan = plan_deployment(
+        cfg,
+        prompt_len=1024,
+        out_len=512,
+        num_gpus=num_gpus,
+        max_batch=128,
+        ttft_p95_ceiling=ttft_ms / 1e3 if ttft_ms else None,
+        probe_requests=32,
+    )
+
+    print(f"\n{'system':14s} {'TP':>3s} {'batch':>6s} {'tput':>9s} "
+          f"{'TTFT p95':>9s} {'weights':>8s} {'status'}")
+    for c in sorted(plan.candidates, key=lambda c: -c.throughput):
+        ttft = "-" if c.ttft_p95 == float("inf") else f"{c.ttft_p95 * 1e3:.0f}ms"
+        status = "ok" if c.feasible else c.rejected_reason
+        print(f"{c.system:14s} {c.tensor_parallel:>3d} {c.batch:>6d} "
+              f"{c.throughput:>9.1f} {ttft:>9s} {c.weight_gb:>7.1f}G {status}")
+    print("\n=> " + plan.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Profile the COMET-W4Ax kernel against every baseline on real LLM shapes.
+
+For each linear layer of a chosen model, prints the simulated A100 latency
+of cuBLAS-W16A16, TRT-LLM-W4A16/W8A8, QServe-W4A8, COMET-W4Ax, and the
+Oracle W4A4 kernel across decode batch sizes — the data behind paper
+Figure 9, exposed as a user tool.
+
+Run:  python examples/kernel_profile.py [model] [batch ...]
+e.g.  python examples/kernel_profile.py llama-3-70b 8 64 256
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.api import KERNELS, kernel_latency
+from repro.model.config import get_model_config
+
+KERNEL_ORDER = (
+    "cublas-w16a16",
+    "trtllm-w4a16",
+    "trtllm-w8a8",
+    "qserve-w4a8",
+    "comet-w4ax",
+    "oracle-w4a4",
+)
+
+
+def profile(model_name: str, batches: list[int]) -> None:
+    cfg = get_model_config(model_name)
+    print(f"model: {cfg.name}  (d={cfg.d_model}, ffn={cfg.d_ffn}, "
+          f"kv_dim={cfg.kv_dim})")
+    for batch in batches:
+        print(f"\n== decode batch {batch} ==")
+        header = f"{'layer':8s} {'n x k':14s}" + "".join(
+            f"{k:>15s}" for k in KERNEL_ORDER
+        )
+        print(header)
+        totals = dict.fromkeys(KERNEL_ORDER, 0.0)
+        for layer, (n, k) in cfg.linear_shapes().items():
+            cells = []
+            for kernel in KERNEL_ORDER:
+                lat = kernel_latency(kernel, batch, n, k).seconds
+                totals[kernel] += lat
+                cells.append(f"{lat * 1e6:12.1f}us")
+            print(f"{layer:8s} {n:>6d}x{k:<6d}" + "".join(f"{c:>15s}" for c in cells))
+        base = totals["cublas-w16a16"]
+        print(f"{'TOTAL':8s} {'(per block)':14s}" + "".join(
+            f"{totals[k] * 1e6:12.1f}us" for k in KERNEL_ORDER
+        ))
+        print(f"{'SPEEDUP':8s} {'vs cuBLAS':14s}" + "".join(
+            f"{base / totals[k]:14.2f}x" for k in KERNEL_ORDER
+        ))
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    model = args[0] if args else "llama-3-8b"
+    batches = [int(a) for a in args[1:]] or [8, 64, 256]
+    unknown = [k for k in KERNEL_ORDER if k not in KERNELS]
+    assert not unknown, unknown
+    profile(model, batches)
+
+
+if __name__ == "__main__":
+    main()

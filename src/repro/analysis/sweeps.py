@@ -1,0 +1,119 @@
+"""Reusable kernel sweep utilities with CSV export.
+
+Benchmarks and the CLI share these helpers to sweep kernels over GEMM-shape
+grids (model layer shapes x batch sizes) and export machine-readable
+results for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.kernels.base import GEMMKernel
+from repro.kernels.tiling import GEMMShape
+from repro.model.config import get_model_config
+
+__all__ = [
+    "SweepRow",
+    "model_layer_shapes",
+    "kernel_sweep",
+    "sweep_to_csv",
+    "normalize_sweep",
+]
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One (kernel, shape) measurement."""
+
+    kernel: str
+    label: str
+    m: int
+    n: int
+    k: int
+    seconds: float
+    dram_bound: bool
+
+
+def model_layer_shapes(
+    model_names: tuple[str, ...],
+    layers: tuple[str, ...] = ("wq", "wk", "w_gate", "w_down"),
+) -> list[tuple[str, int, int]]:
+    """Labeled (n, k) layer shapes for a set of paper models, deduplicated."""
+    seen: set[tuple[int, int]] = set()
+    out: list[tuple[str, int, int]] = []
+    for model_name in model_names:
+        cfg = get_model_config(model_name)
+        shapes = cfg.linear_shapes()
+        for layer in layers:
+            if layer not in shapes:
+                raise KeyError(f"unknown layer {layer!r}")
+            n, k = shapes[layer]
+            if (n, k) in seen:
+                continue
+            seen.add((n, k))
+            out.append((f"{model_name}:{layer}", n, k))
+    return out
+
+
+def kernel_sweep(
+    kernels: dict[str, GEMMKernel],
+    shapes: list[tuple[str, int, int]],
+    batches: tuple[int, ...],
+) -> list[SweepRow]:
+    """Measure every kernel on every (shape, batch) point."""
+    if not kernels:
+        raise ValueError("no kernels supplied")
+    if not batches:
+        raise ValueError("no batches supplied")
+    rows: list[SweepRow] = []
+    for label, n, k in shapes:
+        for m in batches:
+            shape = GEMMShape(m, n, k)
+            for name, kernel in kernels.items():
+                lat = kernel.latency(shape)
+                rows.append(
+                    SweepRow(
+                        kernel=name,
+                        label=label,
+                        m=m,
+                        n=n,
+                        k=k,
+                        seconds=lat.seconds,
+                        dram_bound=lat.dram_bound,
+                    )
+                )
+    return rows
+
+
+def normalize_sweep(
+    rows: list[SweepRow], baseline: str
+) -> dict[tuple[str, int], dict[str, float]]:
+    """Speedups over a baseline kernel, keyed by (shape label, batch)."""
+    by_point: dict[tuple[str, int], dict[str, float]] = {}
+    for row in rows:
+        by_point.setdefault((row.label, row.m), {})[row.kernel] = row.seconds
+    out: dict[tuple[str, int], dict[str, float]] = {}
+    for point, times in by_point.items():
+        if baseline not in times:
+            raise KeyError(f"baseline {baseline!r} missing at {point}")
+        base = times[baseline]
+        out[point] = {kernel: base / t for kernel, t in times.items()}
+    return out
+
+
+def sweep_to_csv(rows: list[SweepRow], path: str | Path) -> Path:
+    """Write sweep rows as CSV; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(
+            fh, fieldnames=list(asdict(rows[0]).keys()) if rows else
+            ["kernel", "label", "m", "n", "k", "seconds", "dram_bound"],
+        )
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(asdict(row))
+    return path

@@ -1,0 +1,138 @@
+"""COMET's convenience API — the "easy-to-use Python interface" of Section 5.
+
+Three entry points cover the common workflows:
+
+* :func:`quantize_model` — run FMPQ (or any registered baseline) over a
+  numpy :class:`~repro.model.transformer.Transformer`.
+* :func:`build_engine` — stand up a timed serving engine for any paper
+  model under any serving-system preset.
+* :func:`kernel_latency` — one-call access to the COMET-W4Ax (or baseline)
+  kernel timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.registry import (
+    METHODS,
+    QuantReport,
+    apply_quantization,
+    collect_calibration,
+)
+from repro.data.corpus import SyntheticCorpus
+from repro.gpu.spec import A100_80G_SXM4, GPUSpec
+from repro.kernels.base import GEMMKernel, KernelLatency
+from repro.kernels.baselines import (
+    CuBLASW16A16,
+    OracleW4A4,
+    QServeW4A8,
+    TRTLLMW4A16,
+    TRTLLMW8A8,
+)
+from repro.kernels.tiling import GEMMShape
+from repro.kernels.w4ax import W4AxKernel
+from repro.model.config import ModelConfig, get_model_config
+from repro.model.transformer import Transformer
+from repro.serving.engine import EngineConfig, ServingEngine
+from repro.serving.systems import build_system
+
+__all__ = [
+    "QuantizedModel",
+    "quantize_model",
+    "build_engine",
+    "kernel_latency",
+    "KERNELS",
+]
+
+KERNELS: dict[str, type[GEMMKernel]] = {
+    "comet-w4ax": W4AxKernel,
+    "cublas-w16a16": CuBLASW16A16,
+    "trtllm-w4a16": TRTLLMW4A16,
+    "trtllm-w8a8": TRTLLMW8A8,
+    "qserve-w4a8": QServeW4A8,
+    "oracle-w4a4": OracleW4A4,
+}
+
+
+@dataclass
+class QuantizedModel:
+    """A quantized model plus its quantization report."""
+
+    model: Transformer
+    report: QuantReport
+
+    def forward(self, tokens: np.ndarray, cache=None) -> np.ndarray:
+        return self.model.forward(tokens, cache)
+
+    def new_cache(self):
+        """A KV cache in the method's recommended format."""
+        return self.model.new_cache(self.report.kv_config)
+
+
+def quantize_model(
+    model: Transformer,
+    corpus: SyntheticCorpus,
+    method: str = "fmpq-w4axkv4",
+    group_size: int = 16,
+    calib_sequences: int = 8,
+    calib_seq_len: int = 64,
+) -> QuantizedModel:
+    """Calibrate and quantize a model in place.
+
+    Args:
+        model: the FP model (mutated; clone first to keep the original).
+        corpus: calibration token source.
+        method: any key of :data:`repro.baselines.registry.METHODS`.
+        group_size: weight group / activation block size (128 at paper
+            scale, 16 for the tiny evaluation models).
+    """
+    if method not in METHODS:
+        known = ", ".join(sorted(METHODS))
+        raise KeyError(f"unknown method {method!r}; known: {known}")
+    calib = collect_calibration(
+        model, corpus, num_sequences=calib_sequences, seq_len=calib_seq_len
+    )
+    report = apply_quantization(model, method, calib, group_size=group_size)
+    return QuantizedModel(model=model, report=report)
+
+
+def build_engine(
+    model: str | ModelConfig,
+    system: str = "comet",
+    spec: GPUSpec = A100_80G_SXM4,
+    **engine_kwargs,
+) -> ServingEngine:
+    """Create a serving engine for a paper model and a system preset.
+
+    Args:
+        model: a :data:`repro.model.config.PAPER_MODELS` name or a config.
+        system: a preset name (see :func:`repro.serving.systems.build_system`).
+        engine_kwargs: forwarded to :class:`EngineConfig`.
+    """
+    config = get_model_config(model) if isinstance(model, str) else model
+    return ServingEngine(
+        config,
+        build_system(system, spec),
+        spec=spec,
+        config=EngineConfig(**engine_kwargs) if engine_kwargs else None,
+    )
+
+
+def kernel_latency(
+    kernel: str,
+    m: int,
+    n: int,
+    k: int,
+    spec: GPUSpec = A100_80G_SXM4,
+    **kernel_kwargs,
+) -> KernelLatency:
+    """Estimate one GEMM's latency under a named kernel."""
+    try:
+        cls = KERNELS[kernel]
+    except KeyError:
+        known = ", ".join(sorted(KERNELS))
+        raise KeyError(f"unknown kernel {kernel!r}; known: {known}") from None
+    return cls(spec=spec, **kernel_kwargs).latency(GEMMShape(m, n, k))

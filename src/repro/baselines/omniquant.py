@@ -1,0 +1,69 @@
+"""OmniQuant-style learned weight clipping (Shao et al., 2023).
+
+OmniQuant learns per-channel clipping thresholds by block-wise gradient
+descent; the standard PTQ approximation (used here, and by several
+re-implementations) is a dense grid search over clip ratios minimizing
+reconstruction MSE.  Two deployments are provided:
+
+* W4A16 — the paper's headline lossless configuration;
+* W4A4 — the aggressive full-INT4-activation extension whose accuracy
+  collapse motivates FMPQ (paper Table 1, "W4A4 Omniquant" row).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.intquant import INT4
+from repro.core.weightquant import QuantizedWeight, quantize_weight
+from repro.baselines.wrappers import DynamicActLinear, WeightOnlyLinear
+
+__all__ = [
+    "OMNIQUANT_CLIP_GRID",
+    "omniquant_quantize_weight",
+    "omniquant_w4a16_linear",
+    "omniquant_w4a4_linear",
+]
+
+#: Finer grid than the default — stands in for gradient-learned clipping.
+OMNIQUANT_CLIP_GRID: tuple[float, ...] = tuple(
+    round(1.0 - 0.025 * i, 4) for i in range(13)
+)
+
+
+def omniquant_quantize_weight(
+    weight: np.ndarray, group_size: int = 128
+) -> QuantizedWeight:
+    """INT4 weight quantization with the dense clip grid."""
+    return quantize_weight(
+        weight, group_size=group_size, clip_grid=OMNIQUANT_CLIP_GRID, spec=INT4
+    )
+
+
+def omniquant_w4a16_linear(
+    weight: np.ndarray,
+    group_size: int = 128,
+    bias: np.ndarray | None = None,
+    name: str = "",
+) -> WeightOnlyLinear:
+    """W4A16 deployment: float activations, clipped INT4 weights."""
+    return WeightOnlyLinear(
+        omniquant_quantize_weight(weight, group_size), bias=bias, name=name
+    )
+
+
+def omniquant_w4a4_linear(
+    weight: np.ndarray,
+    group_size: int = 128,
+    bias: np.ndarray | None = None,
+    name: str = "",
+) -> DynamicActLinear:
+    """Aggressive full W4A4: INT4 weights and naive per-token INT4
+    activations.  Expected to degrade accuracy severely on outlier-bearing
+    activations — the negative result FMPQ fixes."""
+    return DynamicActLinear(
+        omniquant_quantize_weight(weight, group_size),
+        act_spec=INT4,
+        bias=bias,
+        name=name,
+    )

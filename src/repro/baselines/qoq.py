@@ -1,0 +1,37 @@
+"""QoQ: the W4A8KV4 quantization algorithm of QServe (Lin et al., 2024).
+
+QoQ quantizes weights to INT4 with group-wise scales (group 128, one FP16
+scale per group — the configuration the paper benchmarks), activations to
+per-token INT8, and the KV cache to INT4.  Unlike FMPQ it has no
+mixed-precision path: *all* activation GEMMs run at INT8, so it leaves the
+INT4 tensor cores idle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.intquant import INT4, INT8
+from repro.core.kvquant import KVQuantConfig
+from repro.core.weightquant import quantize_weight
+from repro.baselines.wrappers import DynamicActLinear
+
+__all__ = ["qoq_linear", "qoq_kv_config"]
+
+
+def qoq_linear(
+    weight: np.ndarray,
+    group_size: int = 128,
+    bias: np.ndarray | None = None,
+    name: str = "",
+) -> DynamicActLinear:
+    """Build the QoQ W4A8 replacement for one linear layer."""
+    qweight = quantize_weight(
+        weight, group_size=group_size, clip_grid=(1.0, 0.95, 0.9), spec=INT4
+    )
+    return DynamicActLinear(qweight, act_spec=INT8, bias=bias, name=name)
+
+
+def qoq_kv_config() -> KVQuantConfig:
+    """QServe's KV4 configuration."""
+    return KVQuantConfig(granularity="per_token")

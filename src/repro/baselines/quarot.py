@@ -1,0 +1,137 @@
+"""QuaRot/SpinQuant-style rotation baseline (paper citations [4], [32]).
+
+Instead of isolating outlier channels (FMPQ's permutation), the rotation
+family multiplies activations by an orthogonal matrix ``Q`` — a Hadamard
+transform in QuaRot — which *spreads* every outlier's energy across all
+channels, flattening the distribution enough for uniform low-bit
+quantization.  The inverse rotation folds into the weights exactly:
+
+    y = x W^T = (x Q) (W Q)^T        for orthogonal Q,
+
+so the model function is unchanged and only quantization error differs.
+
+This gives the repo the third point in the outlier-handling design space:
+
+* naive W4A4              — ignore outliers (collapses);
+* FMPQ W4Ax               — isolate outliers into INT8 blocks (the paper);
+* rotated W4A4 (here)     — smear outliers and stay uniform INT4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.intquant import (
+    INT4,
+    QuantSpec,
+    quantize_symmetric,
+    symmetric_scale,
+)
+from repro.core.weightquant import QuantizedWeight, quantize_weight
+
+__all__ = ["hadamard_matrix", "random_orthogonal", "RotatedW4A4Linear", "quarot_linear"]
+
+
+def hadamard_matrix(n: int) -> np.ndarray:
+    """Normalized Walsh-Hadamard matrix of power-of-two size ``n``."""
+    if n < 1 or n & (n - 1):
+        raise ValueError(f"Hadamard size must be a power of two, got {n}")
+    h = np.array([[1.0]], dtype=np.float32)
+    while h.shape[0] < n:
+        h = np.block([[h, h], [h, -h]])
+    return h / np.sqrt(n, dtype=np.float32)
+
+
+def random_orthogonal(n: int, seed: int = 0) -> np.ndarray:
+    """Haar-random orthogonal matrix (for non-power-of-two widths)."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    rng = np.random.default_rng(seed)
+    q, r = np.linalg.qr(rng.normal(size=(n, n)))
+    # Fix signs so the distribution is Haar.
+    return (q * np.sign(np.diag(r))).astype(np.float32)
+
+
+def _rotation_for(n: int, seed: int = 0) -> np.ndarray:
+    if n & (n - 1) == 0:
+        return hadamard_matrix(n)
+    return random_orthogonal(n, seed)
+
+
+class RotatedW4A4Linear:
+    """W4A4 with an outlier-smearing rotation folded into the weights.
+
+    Runtime path: rotate the activation (FP16 matmul by ``Q``), per-token
+    INT4 quantization, integer GEMM against the INT4-quantized rotated
+    weight, rescale.
+    """
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        group_size: int = 128,
+        act_spec: QuantSpec = INT4,
+        bias: np.ndarray | None = None,
+        seed: int = 0,
+        name: str = "",
+    ):
+        weight = np.asarray(weight, dtype=np.float32)
+        self.rotation = _rotation_for(weight.shape[1], seed)
+        self.qweight: QuantizedWeight = quantize_weight(
+            weight @ self.rotation, group_size=group_size, clip_grid=(1.0, 0.95, 0.9)
+        )
+        self.act_spec = act_spec
+        self.bias = bias
+        self.name = name
+
+    @property
+    def in_features(self) -> int:
+        return self.qweight.in_features
+
+    @property
+    def out_features(self) -> int:
+        return self.qweight.out_features
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        lead = x.shape[:-1]
+        rotated = x.reshape(-1, self.in_features) @ self.rotation
+        a_scale = symmetric_scale(rotated, self.act_spec, axis=-1)
+        a_codes = quantize_symmetric(rotated, a_scale, self.act_spec).astype(np.int64)
+        g = self.qweight.group_size
+        out = np.zeros((rotated.shape[0], self.out_features), dtype=np.float32)
+        for gi in range(self.qweight.num_groups):
+            acc = a_codes[:, gi * g : (gi + 1) * g] @ (
+                self.qweight.group_codes(gi).astype(np.int64).T
+            )
+            out += (
+                acc.astype(np.float32)
+                * a_scale
+                * self.qweight.group_scales(gi)[None, :]
+            )
+        out = out.reshape(*lead, self.out_features)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    __call__ = forward
+
+    def memory_bytes(self) -> int:
+        # Hadamard rotations need no storage (computed on the fly); random
+        # orthogonal ones store FP16.
+        n = self.in_features
+        rot = 0 if n & (n - 1) == 0 else 2 * n * n
+        return self.qweight.memory_bytes() + rot
+
+
+def quarot_linear(
+    weight: np.ndarray,
+    group_size: int = 128,
+    bias: np.ndarray | None = None,
+    seed: int = 0,
+    name: str = "",
+) -> RotatedW4A4Linear:
+    """Build the rotation-based W4A4 replacement for one linear layer."""
+    return RotatedW4A4Linear(
+        weight, group_size=group_size, bias=bias, seed=seed, name=name
+    )

@@ -1,0 +1,244 @@
+"""Uniform interface for applying any quantization method to a model.
+
+All methods compared in the paper's Tables 1-2 are registered here under the
+names used in the result tables.  ``apply_quantization`` swaps every
+quantizable linear for the method's wrapper and returns a report including
+the KV cache configuration the method is evaluated with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines.awq import awq_quantize_weight
+from repro.baselines.gptq import gptq_quantize_weight
+from repro.baselines.omniquant import (
+    omniquant_w4a16_linear,
+    omniquant_w4a4_linear,
+)
+from repro.baselines.qoq import qoq_kv_config, qoq_linear
+from repro.baselines.quarot import quarot_linear
+from repro.baselines.rtn import rtn_w4a16_linear
+from repro.baselines.smoothquant import smoothquant_linear
+from repro.baselines.wrappers import WeightOnlyLinear
+from repro.core.blockwise import BlockConfig
+from repro.core.fmpq import FMPQConfig, LayerQuantStats, calibrate_linear
+from repro.core.kvquant import KVQuantConfig
+from repro.data.corpus import SyntheticCorpus
+from repro.model.transformer import Transformer
+
+__all__ = [
+    "METHODS",
+    "QuantReport",
+    "collect_calibration",
+    "apply_quantization",
+]
+
+
+@dataclass
+class QuantReport:
+    """Outcome of quantizing a model with one method."""
+
+    method: str
+    kv_config: KVQuantConfig | None
+    layer_stats: dict[str, LayerQuantStats] = field(default_factory=dict)
+
+    @property
+    def mean_w4a4_fraction(self) -> float:
+        """Mean fraction of GEMM volume runnable as W4A4 (FMPQ only)."""
+        if not self.layer_stats:
+            return 0.0
+        return float(
+            np.mean([s.w4a4_gemm_fraction for s in self.layer_stats.values()])
+        )
+
+
+def collect_calibration(
+    model: Transformer,
+    corpus: SyntheticCorpus,
+    num_sequences: int = 8,
+    seq_len: int = 64,
+    seed: int = 12345,
+) -> dict[str, np.ndarray]:
+    """Sample calibration activations for every quantizable linear.
+
+    Mirrors the paper's use of a small sampled calibration set: a handful of
+    corpus sequences are run through the FP model and each linear's inputs
+    are recorded.
+    """
+    with model.capture_linear_inputs() as store:
+        for i in range(num_sequences):
+            model.forward(corpus.sample_sequence(seq_len, seed=seed + i))
+    return {name: np.concatenate(chunks) for name, chunks in store.items()}
+
+
+def _apply_per_layer(model: Transformer, build: Callable) -> None:
+    for name, linear in model.named_linears().items():
+        model.replace_linear(name, build(name, linear))
+
+
+def _quantize_fmpq(
+    model: Transformer,
+    calib: dict[str, np.ndarray],
+    group_size: int,
+    kv: bool,
+    **fmpq_kw,
+) -> QuantReport:
+    config = FMPQConfig(block=BlockConfig(block_size=group_size), **fmpq_kw)
+    stats: dict[str, LayerQuantStats] = {}
+
+    def build(name, linear):
+        qlin, layer_stats = calibrate_linear(
+            linear.weight, calib[name], config, bias=linear.bias, name=name
+        )
+        stats[name] = layer_stats
+        return qlin
+
+    _apply_per_layer(model, build)
+    return QuantReport(
+        method="fmpq-w4axkv4" if kv else "fmpq-w4ax",
+        kv_config=KVQuantConfig() if kv else None,
+        layer_stats=stats,
+    )
+
+
+def _method_fp16(model, calib, group_size):
+    return QuantReport(method="fp16", kv_config=None)
+
+
+def _method_smoothquant(model, calib, group_size):
+    _apply_per_layer(
+        model,
+        lambda name, lin: smoothquant_linear(
+            lin.weight, calib[name], group_size=group_size, bias=lin.bias, name=name
+        ),
+    )
+    return QuantReport(method="smoothquant-w8a8", kv_config=None)
+
+
+def _method_gptq(model, calib, group_size):
+    _apply_per_layer(
+        model,
+        lambda name, lin: WeightOnlyLinear(
+            gptq_quantize_weight(lin.weight, calib[name], group_size=group_size),
+            bias=lin.bias,
+            name=name,
+        ),
+    )
+    return QuantReport(method="gptq-w4a16", kv_config=None)
+
+
+def _method_awq(model, calib, group_size):
+    _apply_per_layer(
+        model,
+        lambda name, lin: WeightOnlyLinear(
+            awq_quantize_weight(lin.weight, calib[name], group_size=group_size),
+            bias=lin.bias,
+            name=name,
+        ),
+    )
+    return QuantReport(method="awq-w4a16", kv_config=None)
+
+
+def _method_omniquant_w4a16(model, calib, group_size):
+    _apply_per_layer(
+        model,
+        lambda name, lin: omniquant_w4a16_linear(
+            lin.weight, group_size=group_size, bias=lin.bias, name=name
+        ),
+    )
+    return QuantReport(method="omniquant-w4a16", kv_config=None)
+
+
+def _method_rtn(model, calib, group_size):
+    _apply_per_layer(
+        model,
+        lambda name, lin: rtn_w4a16_linear(
+            lin.weight, group_size=group_size, bias=lin.bias, name=name
+        ),
+    )
+    return QuantReport(method="rtn-w4a16", kv_config=None)
+
+
+def _method_omniquant_w4a4(model, calib, group_size):
+    _apply_per_layer(
+        model,
+        lambda name, lin: omniquant_w4a4_linear(
+            lin.weight, group_size=group_size, bias=lin.bias, name=name
+        ),
+    )
+    return QuantReport(method="omniquant-w4a4", kv_config=None)
+
+
+def _method_qoq(model, calib, group_size):
+    _apply_per_layer(
+        model,
+        lambda name, lin: qoq_linear(
+            lin.weight, group_size=group_size, bias=lin.bias, name=name
+        ),
+    )
+    return QuantReport(method="qoq-w4a8kv4", kv_config=qoq_kv_config())
+
+
+def _method_quarot(model, calib, group_size):
+    _apply_per_layer(
+        model,
+        lambda name, lin: quarot_linear(
+            lin.weight, group_size=group_size, bias=lin.bias, name=name
+        ),
+    )
+    return QuantReport(method="quarot-w4a4", kv_config=None)
+
+
+def _method_fmpq_w4ax(model, calib, group_size):
+    return _quantize_fmpq(model, calib, group_size, kv=False)
+
+
+def _method_fmpq_w4axkv4(model, calib, group_size):
+    return _quantize_fmpq(model, calib, group_size, kv=True)
+
+
+#: method name -> implementation.  Names follow the paper's result tables.
+METHODS: dict[str, Callable] = {
+    "fp16": _method_fp16,
+    "smoothquant-w8a8": _method_smoothquant,
+    "gptq-w4a16": _method_gptq,
+    "awq-w4a16": _method_awq,
+    "omniquant-w4a16": _method_omniquant_w4a16,
+    "rtn-w4a16": _method_rtn,
+    "omniquant-w4a4": _method_omniquant_w4a4,
+    "quarot-w4a4": _method_quarot,
+    "qoq-w4a8kv4": _method_qoq,
+    "fmpq-w4ax": _method_fmpq_w4ax,
+    "fmpq-w4axkv4": _method_fmpq_w4axkv4,
+}
+
+
+def apply_quantization(
+    model: Transformer,
+    method: str,
+    calib: dict[str, np.ndarray],
+    group_size: int = 16,
+) -> QuantReport:
+    """Quantize ``model`` in place with a registered method.
+
+    Args:
+        model: an unquantized model (mutated in place).
+        method: a key of :data:`METHODS`.
+        calib: calibration activations from :func:`collect_calibration`.
+        group_size: weight group / activation block size.  The paper uses
+            128; the tiny evaluation models use 16 so each layer still spans
+            several blocks.
+
+    Returns:
+        :class:`QuantReport` with the KV config to evaluate under.
+    """
+    try:
+        impl = METHODS[method]
+    except KeyError:
+        known = ", ".join(sorted(METHODS))
+        raise KeyError(f"unknown method {method!r}; known: {known}") from None
+    return impl(model, calib, group_size)

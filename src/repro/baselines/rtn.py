@@ -1,0 +1,28 @@
+"""RTN: plain round-to-nearest weight quantization — the naive baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.intquant import INT4, QuantSpec
+from repro.core.weightquant import QuantizedWeight, quantize_weight
+from repro.baselines.wrappers import WeightOnlyLinear
+
+__all__ = ["rtn_quantize_weight", "rtn_w4a16_linear"]
+
+
+def rtn_quantize_weight(
+    weight: np.ndarray, group_size: int = 128, spec: QuantSpec = INT4
+) -> QuantizedWeight:
+    """Group-wise round-to-nearest without clipping or calibration."""
+    return quantize_weight(weight, group_size=group_size, clip_grid=(1.0,), spec=spec)
+
+
+def rtn_w4a16_linear(
+    weight: np.ndarray,
+    group_size: int = 128,
+    bias: np.ndarray | None = None,
+    name: str = "",
+) -> WeightOnlyLinear:
+    """W4A16 deployment of plain RTN."""
+    return WeightOnlyLinear(rtn_quantize_weight(weight, group_size), bias=bias, name=name)

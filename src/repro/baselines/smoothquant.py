@@ -1,0 +1,52 @@
+"""SmoothQuant: W8A8 via activation-to-weight difficulty migration
+(Xiao et al., 2023).
+
+The per-channel smoothing factor ``s_j = absmax(X_j)^alpha /
+absmax(W_j)^(1-alpha)`` divides the activations and multiplies the matching
+weight columns, which is function-preserving while flattening activation
+outliers enough for INT8 per-token quantization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.intquant import INT8
+from repro.core.weightquant import quantize_weight
+from repro.baselines.wrappers import SmoothQuantLinear
+
+__all__ = ["smoothquant_linear", "compute_smoothing_factor"]
+
+
+def compute_smoothing_factor(
+    weight: np.ndarray, calib_x: np.ndarray, alpha: float = 0.5
+) -> np.ndarray:
+    """The SmoothQuant migration factor (paper Eq. 4)."""
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError("alpha must be in [0, 1]")
+    w = np.asarray(weight, dtype=np.float32)
+    x = np.asarray(calib_x, dtype=np.float32).reshape(-1, w.shape[1])
+    act_mag = np.maximum(np.abs(x).max(axis=0), 1e-8)
+    w_mag = np.maximum(np.abs(w).max(axis=0), 1e-8)
+    s = act_mag**alpha / w_mag ** (1.0 - alpha)
+    return np.maximum(s, 1e-5).astype(np.float32)
+
+
+def smoothquant_linear(
+    weight: np.ndarray,
+    calib_x: np.ndarray,
+    alpha: float = 0.5,
+    group_size: int = 128,
+    bias: np.ndarray | None = None,
+    name: str = "",
+) -> SmoothQuantLinear:
+    """Build a W8A8 SmoothQuant replacement for a linear layer."""
+    w = np.asarray(weight, dtype=np.float32)
+    smooth = compute_smoothing_factor(w, calib_x, alpha)
+    w_smoothed = w * smooth[None, :]
+    qweight = quantize_weight(
+        w_smoothed, group_size=group_size, clip_grid=(1.0,), spec=INT8
+    )
+    return SmoothQuantLinear(
+        qweight=qweight, act_spec=INT8, smooth=smooth, bias=bias, name=name
+    )

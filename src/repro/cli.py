@@ -1,0 +1,270 @@
+"""Command-line interface for the COMET reproduction.
+
+Subcommands:
+
+* ``models``    — list the registered paper models and tiny zoo models.
+* ``kernels``   — simulated A100/H100 kernel latencies for a model's layers.
+* ``serve``     — simulated end-to-end serving run for a (model, system).
+* ``quantize``  — quantize a tiny zoo model and report perplexity impact.
+* ``roofline``  — print the Figure 2 roofline points.
+
+Run ``python -m repro.cli <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.roofline import balance_point, roofline_sweep
+from repro.api import KERNELS, kernel_latency, quantize_model
+from repro.data.perplexity import evaluate_perplexity
+from repro.gpu.spec import KNOWN_GPUS
+from repro.model.config import PAPER_MODELS, get_model_config
+from repro.serving.engine import EngineConfig, ServingEngine
+from repro.serving.metrics import LatencyReport
+from repro.serving.request import make_batch_requests
+from repro.serving.systems import SYSTEM_NAMES, build_system
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    print(f"{'name':14s} {'params':>8s} {'d_model':>8s} {'layers':>7s} "
+          f"{'heads':>6s} {'kv':>4s} {'ffn':>7s}")
+    for cfg in PAPER_MODELS.values():
+        print(f"{cfg.name:14s} {cfg.params_billion:7.1f}B {cfg.d_model:8d} "
+              f"{cfg.n_layers:7d} {cfg.n_heads:6d} {cfg.n_kv_heads:4d} "
+              f"{cfg.d_ffn:7d}")
+    from repro.training.zoo import ZOO_SPECS
+
+    print("\ntiny zoo models (trained, for accuracy experiments):")
+    print("  " + ", ".join(sorted(ZOO_SPECS)))
+    return 0
+
+
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    cfg = get_model_config(args.model)
+    kernels = args.kernel or sorted(KERNELS)
+    unknown = [k for k in kernels if k not in KERNELS]
+    if unknown:
+        print(f"unknown kernels: {unknown}; known: {sorted(KERNELS)}",
+              file=sys.stderr)
+        return 2
+    print(f"{cfg.name} @ batch {args.batch} on {args.gpu} (simulated)")
+    header = f"{'layer':8s} {'n x k':>14s}" + "".join(f"{k:>16s}" for k in kernels)
+    print(header)
+    spec = KNOWN_GPUS[args.gpu]
+    for layer, (n, k) in cfg.linear_shapes().items():
+        cells = []
+        for kernel in kernels:
+            try:
+                lat = kernel_latency(kernel, args.batch, n, k, spec=spec)
+                cells.append(f"{lat.seconds * 1e6:13.1f}us")
+            except KeyError:  # precision unsupported on this GPU
+                cells.append(f"{'n/a':>15s}")
+        print(f"{layer:8s} {n:>7d}x{k:<6d}" + "".join(f"{c:>16s}" for c in cells))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    cfg = get_model_config(args.model)
+    try:
+        engine = ServingEngine(
+            cfg,
+            build_system(args.system),
+            config=EngineConfig(max_batch=args.batch),
+        )
+    except ValueError as exc:
+        print(f"OOM: {exc}", file=sys.stderr)
+        return 1
+    feasible = min(max(engine.plan.max_batch(args.prompt + args.out), 1), args.batch)
+    requests = make_batch_requests(feasible, args.prompt, args.out)
+    report = engine.run(requests)
+    print(f"model={cfg.name} system={args.system} "
+          f"input/output={args.prompt}/{args.out}")
+    print(f"weights {engine.plan.weight_bytes / 1e9:.1f} GB | "
+          f"KV pool {engine.plan.kv_pool_bytes / 1e9:.1f} GB | "
+          f"batch {report.peak_batch}")
+    print(f"throughput {report.throughput:.1f} tok/s "
+          f"({report.output_tokens} tokens in {report.sim_seconds:.2f}s)")
+    bd = report.runtime_breakdown()
+    print(f"runtime: GEMM {100 * bd['gemm']:.0f}% | "
+          f"attention {100 * bd['attention']:.0f}% | "
+          f"overhead {100 * bd['overhead']:.0f}%")
+    print(LatencyReport.from_requests(requests).summary())
+    return 0
+
+
+def _cmd_quantize(args: argparse.Namespace) -> int:
+    from repro.model.transformer import Transformer
+    from repro.training.zoo import load_zoo_model
+
+    entry = load_zoo_model(args.zoo_model)
+    params = {k: v.copy() for k, v in entry.model.get_params().items()}
+    model = Transformer(entry.model.config, params=params)
+    qm = quantize_model(model, entry.corpus, method=args.method)
+    ppl_fp = evaluate_perplexity(entry.model, entry.corpus)
+    ppl_q = evaluate_perplexity(
+        qm.model, entry.corpus, kv_config=qm.report.kv_config
+    )
+    print(f"model={args.zoo_model} method={args.method}")
+    if qm.report.layer_stats:
+        print(f"W4A4 GEMM volume: {100 * qm.report.mean_w4a4_fraction:.1f}%")
+    print(f"perplexity: fp16 {ppl_fp:.3f} -> quantized {ppl_q:.3f} "
+          f"({100 * (ppl_q / ppl_fp - 1):+.2f}%)")
+    if args.save:
+        from repro.core.serialization import save_quantized_model
+
+        if args.method not in ("fmpq-w4ax", "fmpq-w4axkv4"):
+            print("--save supports FMPQ checkpoints only", file=sys.stderr)
+            return 2
+        save_quantized_model(args.save, qm.model, qm.report.kv_config)
+        print(f"checkpoint written to {args.save}")
+    return 0
+
+
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    from repro.kernels.verification import verify_kernels
+
+    report = verify_kernels(cases=args.cases, seed=args.seed)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.sweeps import (
+        kernel_sweep,
+        model_layer_shapes,
+        sweep_to_csv,
+    )
+    from repro.api import KERNELS
+
+    kernel_names = args.kernel or ["cublas-w16a16", "trtllm-w4a16",
+                                   "trtllm-w8a8", "comet-w4ax"]
+    unknown = [k for k in kernel_names if k not in KERNELS]
+    if unknown:
+        print(f"unknown kernels: {unknown}", file=sys.stderr)
+        return 2
+    kernels = {name: KERNELS[name]() for name in kernel_names}
+    shapes = model_layer_shapes(tuple(args.model or ["llama-3-8b"]))
+    rows = kernel_sweep(kernels, shapes, tuple(args.batch or [8, 64, 256]))
+    path = sweep_to_csv(rows, args.output)
+    print(f"{len(rows)} measurements -> {path}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.serving.planner import plan_deployment
+
+    cfg = get_model_config(args.model)
+    plan = plan_deployment(
+        cfg,
+        prompt_len=args.prompt,
+        out_len=args.out,
+        num_gpus=args.gpus,
+        max_batch=args.batch,
+        ttft_p95_ceiling=args.ttft_ms / 1e3 if args.ttft_ms else None,
+        probe_requests=args.probe,
+    )
+    print(f"{'system':14s} {'TP':>3s} {'batch':>6s} {'tput tok/s':>11s} "
+          f"{'TTFT p95':>9s} {'status'}")
+    for c in sorted(plan.candidates, key=lambda c: -c.throughput):
+        status = "ok" if c.feasible else c.rejected_reason
+        ttft = "-" if c.ttft_p95 == float("inf") else f"{c.ttft_p95 * 1e3:.0f}ms"
+        print(f"{c.system:14s} {c.tensor_parallel:>3d} {c.batch:>6d} "
+              f"{c.throughput:>11.1f} {ttft:>9s} {status}")
+    print("\n" + plan.summary())
+    return 0 if plan.best is not None else 1
+
+
+def _cmd_roofline(args: argparse.Namespace) -> int:
+    spec = KNOWN_GPUS[args.gpu]
+    print(f"{spec.name}: balance points "
+          + ", ".join(
+              f"{p}={balance_point(spec, p):.0f} ops/B"
+              for p in sorted(spec.tensor_core_tput)
+          ))
+    for p in roofline_sweep(spec):
+        bound = "memory" if p.memory_bound else "compute"
+        print(f"{p.name:18s} {p.intensity:10.2f} ops/B "
+              f"{p.attainable / 1e12:9.1f} TOPS  {bound}-bound")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="COMET W4A4KV4 LLM serving — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list registered models").set_defaults(
+        func=_cmd_models
+    )
+
+    p = sub.add_parser("kernels", help="simulated kernel latencies")
+    p.add_argument("--model", default="llama-3-8b")
+    p.add_argument("--batch", type=int, default=64)
+    p.add_argument("--gpu", choices=sorted(KNOWN_GPUS), default="A100-80G-SXM4")
+    p.add_argument("--kernel", action="append",
+                   help="kernel name (repeatable; default: all)")
+    p.set_defaults(func=_cmd_kernels)
+
+    p = sub.add_parser("serve", help="simulated end-to-end serving")
+    p.add_argument("--model", default="llama-3-8b")
+    p.add_argument("--system", choices=SYSTEM_NAMES, default="comet")
+    p.add_argument("--prompt", type=int, default=1024)
+    p.add_argument("--out", type=int, default=512)
+    p.add_argument("--batch", type=int, default=128)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("quantize", help="quantize a tiny zoo model")
+    p.add_argument("--zoo-model", default="tiny-llama-1")
+    p.add_argument("--method", default="fmpq-w4axkv4")
+    p.add_argument("--save", help="write an FMPQ .npz checkpoint here")
+    p.set_defaults(func=_cmd_quantize)
+
+    p = sub.add_parser("selfcheck", help="verify kernel numerics and timing")
+    p.add_argument("--cases", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_selfcheck)
+
+    p = sub.add_parser("sweep", help="kernel latency sweep to CSV")
+    p.add_argument("--model", action="append", default=None,
+                   help="paper model (repeatable; default llama-3-8b)")
+    p.add_argument("--batch", type=int, action="append", default=None,
+                   help="batch size (repeatable; default 8 64 256)")
+    p.add_argument("--kernel", action="append", default=None)
+    p.add_argument("--output", default="kernel_sweep.csv")
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("plan", help="recommend a deployment configuration")
+    p.add_argument("--model", default="llama-3-8b")
+    p.add_argument("--prompt", type=int, default=1024)
+    p.add_argument("--out", type=int, default=512)
+    p.add_argument("--gpus", type=int, default=1)
+    p.add_argument("--batch", type=int, default=128)
+    p.add_argument("--ttft-ms", type=float, default=None,
+                   help="optional TTFT p95 SLO in milliseconds")
+    p.add_argument("--probe", type=int, default=None,
+                   help="requests per probe run (default: one full batch)")
+    p.set_defaults(func=_cmd_plan)
+
+    p = sub.add_parser("roofline", help="print Figure 2 roofline points")
+    p.add_argument("--gpu", choices=sorted(KNOWN_GPUS), default="A100-80G-SXM4")
+    p.set_defaults(func=_cmd_roofline)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(linewidth=120)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

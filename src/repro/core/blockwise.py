@@ -1,0 +1,192 @@
+"""Block-wise mixed-precision activation quantization (paper Section 3.2).
+
+The activation tensor is partitioned *only along the channel dimension* into
+blocks of ``block_size`` channels (``k = 128`` in the paper), chosen so each
+block is an integer multiple of the GPU tensor core's minimum computation
+granularity.  Blocks containing outlier channels are quantized to INT8;
+everything else to INT4.  Scales are per (token, block) — the finest
+granularity that still dequantizes with one multiply per accumulated tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.intquant import INT4, INT8, QuantSpec, _require_finite
+
+__all__ = [
+    "BlockConfig",
+    "BlockPrecisionPlan",
+    "QuantizedActivation",
+    "assign_block_precisions",
+    "quantize_activation_blocks",
+    "dequantize_activation_blocks",
+]
+
+DEFAULT_BLOCK_SIZE = 128
+
+
+@dataclass(frozen=True)
+class BlockConfig:
+    """Configuration of the channel-block partition.
+
+    Attributes:
+        block_size: channels per block (``k`` in the paper; default 128).
+        low: precision for normal blocks.
+        high: precision for outlier blocks.
+    """
+
+    block_size: int = DEFAULT_BLOCK_SIZE
+    low: QuantSpec = INT4
+    high: QuantSpec = INT8
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if self.low.bits >= self.high.bits:
+            raise ValueError("low precision must be narrower than high")
+
+    def num_blocks(self, num_channels: int) -> int:
+        if num_channels % self.block_size != 0:
+            raise ValueError(
+                f"channels ({num_channels}) must be divisible by block_size "
+                f"({self.block_size}); pad the model dimension"
+            )
+        return num_channels // self.block_size
+
+
+@dataclass(frozen=True)
+class BlockPrecisionPlan:
+    """Per-block precision assignment for one linear layer's input.
+
+    Attributes:
+        config: the block partition this plan was built for.
+        is_high: boolean array of shape ``(num_blocks,)``; True means the
+            block is quantized with ``config.high`` (INT8).
+    """
+
+    config: BlockConfig
+    is_high: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "is_high", np.asarray(self.is_high, dtype=bool))
+
+    @property
+    def num_blocks(self) -> int:
+        return int(self.is_high.shape[0])
+
+    @property
+    def num_channels(self) -> int:
+        return self.num_blocks * self.config.block_size
+
+    def spec_for_block(self, block: int) -> QuantSpec:
+        return self.config.high if self.is_high[block] else self.config.low
+
+    @property
+    def high_fraction(self) -> float:
+        """Fraction of blocks (== fraction of GEMM volume) in high precision."""
+        if self.num_blocks == 0:
+            return 0.0
+        return float(self.is_high.sum()) / float(self.num_blocks)
+
+    @property
+    def low_fraction(self) -> float:
+        """Fraction of GEMM volume executed as W4A4."""
+        return 1.0 - self.high_fraction
+
+
+def assign_block_precisions(
+    outlier_mask: np.ndarray, config: BlockConfig
+) -> BlockPrecisionPlan:
+    """Assign INT8 to every block containing at least one outlier channel.
+
+    Args:
+        outlier_mask: boolean mask over (already permuted) channels.
+        config: block partition configuration.
+    """
+    mask = np.asarray(outlier_mask, dtype=bool)
+    num_blocks = config.num_blocks(mask.shape[0])
+    blocks = mask.reshape(num_blocks, config.block_size)
+    return BlockPrecisionPlan(config=config, is_high=blocks.any(axis=1))
+
+
+@dataclass
+class QuantizedActivation:
+    """A block-quantized activation matrix.
+
+    The original tensor is reshaped to ``(tokens, channels)``; codes hold the
+    integer values and ``scales[t, b]`` is the symmetric scale of token ``t``
+    in channel-block ``b``.
+
+    Attributes:
+        codes: int8 array ``(tokens, channels)`` (INT4 codes use [-8, 7]).
+        scales: float32 array ``(tokens, num_blocks)``.
+        plan: the precision plan the codes were produced under.
+        lead_shape: leading shape of the original tensor, for round-tripping.
+    """
+
+    codes: np.ndarray
+    scales: np.ndarray
+    plan: BlockPrecisionPlan
+    lead_shape: tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def num_tokens(self) -> int:
+        return int(self.codes.shape[0])
+
+    def block_codes(self, block: int) -> np.ndarray:
+        k = self.plan.config.block_size
+        return self.codes[:, block * k : (block + 1) * k]
+
+    def block_scales(self, block: int) -> np.ndarray:
+        return self.scales[:, block]
+
+
+def quantize_activation_blocks(
+    x: np.ndarray, plan: BlockPrecisionPlan
+) -> QuantizedActivation:
+    """Quantize an activation tensor under a block precision plan.
+
+    Args:
+        x: float array of shape ``(..., channels)`` where ``channels`` matches
+            the plan.  Channels must already be permuted.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    if x.shape[-1] != plan.num_channels:
+        raise ValueError(
+            f"activation channels {x.shape[-1]} != plan channels "
+            f"{plan.num_channels}"
+        )
+    _require_finite(x)
+    lead_shape = x.shape[:-1]
+    flat = x.reshape(-1, plan.num_channels)
+    k = plan.config.block_size
+    tokens = flat.shape[0]
+    # Vectorized over all blocks: (tokens, blocks, block_size) view with
+    # per-block integer ranges.
+    view = flat.reshape(tokens, plan.num_blocks, k)
+    qmax = np.where(
+        plan.is_high, plan.config.high.qmax, plan.config.low.qmax
+    ).astype(np.float32)
+    qmin = np.where(plan.is_high, plan.config.high.qmin, plan.config.low.qmin)
+    amax = np.maximum(np.abs(view).max(axis=2), 1e-12)
+    scales = (amax / qmax[None, :]).astype(np.float32)
+    q = np.round(view / scales[:, :, None])
+    codes = np.clip(q, qmin[None, :, None], qmax[None, :, None]).astype(np.int8)
+    return QuantizedActivation(
+        codes=codes.reshape(tokens, plan.num_channels),
+        scales=scales,
+        plan=plan,
+        lead_shape=lead_shape,
+    )
+
+
+def dequantize_activation_blocks(qact: QuantizedActivation) -> np.ndarray:
+    """Reconstruct the float activation from a :class:`QuantizedActivation`."""
+    plan = qact.plan
+    k = plan.config.block_size
+    view = qact.codes.reshape(-1, plan.num_blocks, k).astype(np.float32)
+    flat = view * qact.scales[:, :, None]
+    return flat.reshape(*qact.lead_shape, plan.num_channels)

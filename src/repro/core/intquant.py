@@ -1,0 +1,262 @@
+"""Integer quantization primitives shared by every quantizer in the repo.
+
+This module implements the numeric foundation of FMPQ (paper Section 3): scale
+computation, symmetric and asymmetric round-to-nearest quantization for
+arbitrary integer bit widths, and the bit-level packing formats consumed by
+the W4Ax kernel (Section 4.3):
+
+* nibble packing — two INT4 values per byte, the storage format of 4-bit
+  weight/activation tensors;
+* word packing — four INT4 values per 16-bit word, the register layout that
+  the fast INT4->INT8 conversion operates on.
+
+All functions are pure and operate on numpy arrays.  Quantized values are
+stored as ``int8`` (or packed ``uint8``/``uint16``) and accompanied by ``float32``
+scales / zero points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "QuantSpec",
+    "INT4",
+    "INT8",
+    "symmetric_scale",
+    "asymmetric_scale_zero",
+    "quantize_symmetric",
+    "dequantize_symmetric",
+    "quantize_asymmetric",
+    "dequantize_asymmetric",
+    "quantization_error",
+    "pack_int4",
+    "unpack_int4",
+    "pack_int4_words",
+    "unpack_int4_words",
+]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class QuantSpec:
+    """A signed uniform integer format.
+
+    Attributes:
+        bits: total bit width, including the sign bit.
+    """
+
+    bits: int
+
+    @property
+    def qmin(self) -> int:
+        """Smallest representable signed value (e.g. -8 for INT4)."""
+        return -(1 << (self.bits - 1))
+
+    @property
+    def qmax(self) -> int:
+        """Largest representable signed value (e.g. 7 for INT4)."""
+        return (1 << (self.bits - 1)) - 1
+
+    @property
+    def unsigned_qmax(self) -> int:
+        """Largest representable unsigned value (e.g. 15 for INT4)."""
+        return (1 << self.bits) - 1
+
+    @property
+    def levels(self) -> int:
+        """Number of representable codes."""
+        return 1 << self.bits
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"INT{self.bits}"
+
+
+INT4 = QuantSpec(bits=4)
+INT8 = QuantSpec(bits=8)
+
+
+def _require_finite(x: np.ndarray) -> None:
+    if not np.isfinite(x).all():
+        raise ValueError(
+            "tensor contains NaN/inf; quantization scales would be invalid"
+        )
+
+
+def _absmax(x: np.ndarray, axis: int | tuple[int, ...] | None) -> np.ndarray:
+    amax = np.max(np.abs(x), axis=axis, keepdims=axis is not None)
+    return np.maximum(amax, _EPS)
+
+
+def symmetric_scale(
+    x: np.ndarray,
+    spec: QuantSpec,
+    axis: int | tuple[int, ...] | None = None,
+    clip_ratio: float = 1.0,
+) -> np.ndarray:
+    """Compute the symmetric quantization scale ``s`` such that ``x ~= q * s``.
+
+    Args:
+        x: tensor to be quantized.
+        spec: target integer format.
+        axis: axis (or axes) along which to reduce; ``None`` means per-tensor.
+            When an axis is given the returned scale keeps that dimension with
+            size 1 so it broadcasts against ``x``.
+        clip_ratio: shrink the dynamic range to ``clip_ratio * absmax``.  Used
+            by clip-search weight quantizers (OmniQuant/AWQ style).
+
+    Returns:
+        float32 scale array broadcastable against ``x``.
+    """
+    if not 0.0 < clip_ratio <= 1.0:
+        raise ValueError(f"clip_ratio must be in (0, 1], got {clip_ratio}")
+    _require_finite(x)
+    scale = _absmax(x, axis) * clip_ratio / spec.qmax
+    return np.asarray(scale, dtype=np.float32)
+
+
+def asymmetric_scale_zero(
+    x: np.ndarray,
+    spec: QuantSpec,
+    axis: int | tuple[int, ...] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compute asymmetric (affine) scale and zero point.
+
+    The affine mapping is ``x ~= (q - z) * s`` with ``q`` in
+    ``[0, spec.unsigned_qmax]``.  Used by the KV4 quantizer where Key/Value
+    distributions are not centred on zero.
+
+    Returns:
+        ``(scale, zero_point)`` — float32 scale and float32 zero point, both
+        broadcastable against ``x``.
+    """
+    _require_finite(np.asarray(x))
+    keep = axis is not None
+    xmin = np.minimum(np.min(x, axis=axis, keepdims=keep), 0.0)
+    xmax = np.maximum(np.max(x, axis=axis, keepdims=keep), 0.0)
+    scale = np.maximum((xmax - xmin) / spec.unsigned_qmax, _EPS)
+    zero = np.round(-xmin / scale)
+    return (
+        np.asarray(scale, dtype=np.float32),
+        np.asarray(zero, dtype=np.float32),
+    )
+
+
+def quantize_symmetric(
+    x: np.ndarray, scale: np.ndarray, spec: QuantSpec
+) -> np.ndarray:
+    """Round-to-nearest symmetric quantization, clamped to the format range.
+
+    Returns an ``int8`` array regardless of bit width (INT4 codes occupy the
+    low nibble value range [-8, 7]).
+    """
+    q = np.round(x / scale)
+    return np.clip(q, spec.qmin, spec.qmax).astype(np.int8)
+
+
+def dequantize_symmetric(q: np.ndarray, scale: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`quantize_symmetric`."""
+    return q.astype(np.float32) * np.asarray(scale, dtype=np.float32)
+
+
+def quantize_asymmetric(
+    x: np.ndarray, scale: np.ndarray, zero: np.ndarray, spec: QuantSpec
+) -> np.ndarray:
+    """Round-to-nearest affine quantization to unsigned codes.
+
+    Returns an ``int16`` array (codes fit in [0, unsigned_qmax]; int16 avoids
+    uint8 overflow pitfalls during arithmetic in callers).
+    """
+    q = np.round(x / scale) + zero
+    return np.clip(q, 0, spec.unsigned_qmax).astype(np.int16)
+
+
+def dequantize_asymmetric(
+    q: np.ndarray, scale: np.ndarray, zero: np.ndarray
+) -> np.ndarray:
+    """Inverse of :func:`quantize_asymmetric`."""
+    return (q.astype(np.float32) - zero) * np.asarray(scale, dtype=np.float32)
+
+
+def quantization_error(x: np.ndarray, x_hat: np.ndarray) -> float:
+    """Mean squared quantization error between a tensor and its reconstruction."""
+    diff = np.asarray(x, dtype=np.float64) - np.asarray(x_hat, dtype=np.float64)
+    return float(np.mean(diff * diff))
+
+
+# ---------------------------------------------------------------------------
+# Bit-level packing (W4Ax storage formats, paper Section 4.3)
+# ---------------------------------------------------------------------------
+
+
+def pack_int4(values: np.ndarray) -> np.ndarray:
+    """Pack signed INT4 codes (two per byte) along the last axis.
+
+    The element at even index ``2i`` occupies the low nibble and ``2i + 1`` the
+    high nibble, matching the little-endian layout the W4Ax kernel loads with
+    ``ldmatrix``.  The last axis length must be even.
+
+    Returns:
+        ``uint8`` array whose last axis is half the input's.
+    """
+    values = np.asarray(values)
+    if values.shape[-1] % 2 != 0:
+        raise ValueError(
+            f"last axis must be even to nibble-pack, got {values.shape[-1]}"
+        )
+    if values.min(initial=0) < INT4.qmin or values.max(initial=0) > INT4.qmax:
+        raise ValueError("values out of INT4 range [-8, 7]")
+    u = (values.astype(np.int16) & 0xF).astype(np.uint8)
+    lo = u[..., 0::2]
+    hi = u[..., 1::2]
+    return (lo | (hi << 4)).astype(np.uint8)
+
+
+def unpack_int4(packed: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`pack_int4`; returns signed ``int8`` codes."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    lo = (packed & 0xF).astype(np.int8)
+    hi = (packed >> 4).astype(np.int8)
+    # Sign-extend the nibbles: values >= 8 represent negatives.
+    lo = np.where(lo >= 8, lo - 16, lo).astype(np.int8)
+    hi = np.where(hi >= 8, hi - 16, hi).astype(np.int8)
+    out = np.empty(packed.shape[:-1] + (packed.shape[-1] * 2,), dtype=np.int8)
+    out[..., 0::2] = lo
+    out[..., 1::2] = hi
+    return out
+
+
+def pack_int4_words(values: np.ndarray) -> np.ndarray:
+    """Pack four signed INT4 codes per 16-bit word along the last axis.
+
+    This is the register-resident format used by the fast INT4->INT8
+    conversion (paper Figure 7): value ``4i + j`` occupies bits
+    ``[4j, 4j + 4)`` of word ``i``.  The last axis length must be a multiple
+    of four.
+    """
+    values = np.asarray(values)
+    if values.shape[-1] % 4 != 0:
+        raise ValueError(
+            f"last axis must be a multiple of 4, got {values.shape[-1]}"
+        )
+    if values.min(initial=0) < INT4.qmin or values.max(initial=0) > INT4.qmax:
+        raise ValueError("values out of INT4 range [-8, 7]")
+    u = (values.astype(np.int32) & 0xF).astype(np.uint16)
+    w = u[..., 0::4] | (u[..., 1::4] << 4) | (u[..., 2::4] << 8) | (u[..., 3::4] << 12)
+    return w.astype(np.uint16)
+
+
+def unpack_int4_words(words: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`pack_int4_words`; returns signed ``int8`` codes."""
+    words = np.asarray(words, dtype=np.uint16)
+    nibbles = [
+        ((words >> shift) & 0xF).astype(np.int8) for shift in (0, 4, 8, 12)
+    ]
+    nibbles = [np.where(n >= 8, n - 16, n).astype(np.int8) for n in nibbles]
+    out = np.empty(words.shape[:-1] + (words.shape[-1] * 4,), dtype=np.int8)
+    for j, n in enumerate(nibbles):
+        out[..., j::4] = n
+    return out

@@ -1,0 +1,111 @@
+"""Outlier-clustering channel permutation (paper Section 3.2, Figure 4d).
+
+Outlier channels are scattered across the hidden dimension, so without
+reordering, almost every k-channel block would contain at least one outlier
+and need INT8.  FMPQ permutes channels so outliers cluster into as few blocks
+as possible; the weight matrix's input dimension is permuted identically so
+the GEMM result is unchanged (computational equivalence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ChannelPermutation",
+    "identity_permutation",
+    "outlier_clustering_permutation",
+]
+
+
+@dataclass(frozen=True)
+class ChannelPermutation:
+    """A permutation of activation channels plus its inverse.
+
+    ``forward[i]`` gives the source channel placed at position ``i`` of the
+    permuted tensor: ``x_perm = x[..., forward]``.
+    """
+
+    forward: np.ndarray
+
+    def __post_init__(self) -> None:
+        fwd = np.asarray(self.forward, dtype=np.int64)
+        if sorted(fwd.tolist()) != list(range(fwd.shape[0])):
+            raise ValueError("forward is not a permutation of range(n)")
+        object.__setattr__(self, "forward", fwd)
+
+    @property
+    def num_channels(self) -> int:
+        return int(self.forward.shape[0])
+
+    @property
+    def inverse(self) -> np.ndarray:
+        inv = np.empty_like(self.forward)
+        inv[self.forward] = np.arange(self.forward.shape[0])
+        return inv
+
+    def apply_to_activation(self, x: np.ndarray) -> np.ndarray:
+        """Permute the channel (last) axis of an activation tensor."""
+        return x[..., self.forward]
+
+    def apply_to_weight(self, weight: np.ndarray) -> np.ndarray:
+        """Permute the input-channel axis of a ``(out, in)`` weight matrix.
+
+        Applying both :meth:`apply_to_activation` and this method leaves
+        ``x @ weight.T`` unchanged.
+        """
+        if weight.shape[-1] != self.num_channels:
+            raise ValueError(
+                f"weight input dim {weight.shape[-1]} != permutation size "
+                f"{self.num_channels}"
+            )
+        return weight[..., self.forward]
+
+    def undo_activation(self, x_perm: np.ndarray) -> np.ndarray:
+        """Invert :meth:`apply_to_activation`."""
+        return x_perm[..., self.inverse]
+
+    def is_identity(self) -> bool:
+        return bool(np.array_equal(self.forward, np.arange(self.num_channels)))
+
+
+def identity_permutation(num_channels: int) -> ChannelPermutation:
+    """The no-op permutation."""
+    return ChannelPermutation(np.arange(num_channels, dtype=np.int64))
+
+
+def outlier_clustering_permutation(
+    outlier_mask: np.ndarray,
+    scores: np.ndarray | None = None,
+) -> ChannelPermutation:
+    """Build a permutation that packs outlier channels into leading positions.
+
+    Outlier channels are moved to the front (ordered by descending score so
+    the most extreme channels share blocks and per-block scales stay tight),
+    followed by all normal channels in their original order.  With block size
+    ``k`` this confines outliers to ``ceil(n_outliers / k)`` blocks — the
+    minimum possible.
+
+    Args:
+        outlier_mask: boolean array of shape ``(channels,)``.
+        scores: optional per-channel magnitudes used to order the outliers;
+            defaults to the mask itself (stable original order).
+
+    Returns:
+        :class:`ChannelPermutation`.
+    """
+    mask = np.asarray(outlier_mask, dtype=bool)
+    n = mask.shape[0]
+    idx = np.arange(n)
+    outlier_idx = idx[mask]
+    if scores is not None:
+        scores = np.asarray(scores)
+        if scores.shape[0] != n:
+            raise ValueError("scores length must match mask length")
+        # Stable sort by descending score keeps ties in original order.
+        order = np.argsort(-scores[mask], kind="stable")
+        outlier_idx = outlier_idx[order]
+    normal_idx = idx[~mask]
+    return ChannelPermutation(np.concatenate([outlier_idx, normal_idx]))

@@ -1,0 +1,157 @@
+"""Serialization of FMPQ-quantized models (the deployable artifact).
+
+A quantized checkpoint stores exactly what a serving process needs:
+
+* per linear layer — nibble-packed INT4 weight codes, FP16 group scales,
+  the channel permutation, the per-block precision plan, and the bias;
+* the non-quantized parameters (embeddings, norms, LM head) at FP16;
+* the model architecture and the KV cache configuration.
+
+The format is a single ``.npz`` file; packing halves the weight bytes
+versus int8 storage and round-trips bit-exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.blockwise import BlockConfig, BlockPrecisionPlan
+from repro.core.fmpq import QuantizedLinear
+from repro.core.intquant import INT4, QuantSpec
+from repro.core.kvquant import KVQuantConfig
+from repro.core.permutation import ChannelPermutation
+from repro.core.weightquant import QuantizedWeight
+from repro.model.config import ModelConfig
+from repro.model.transformer import Transformer, init_params
+
+__all__ = ["save_quantized_model", "load_quantized_model", "CHECKPOINT_VERSION"]
+
+CHECKPOINT_VERSION = 1
+
+
+def _meta(model: Transformer, kv_config: KVQuantConfig | None) -> dict:
+    cfg = model.config
+    return {
+        "version": CHECKPOINT_VERSION,
+        "config": asdict(cfg),
+        "kv_config": None
+        if kv_config is None
+        else {
+            "bits": kv_config.spec.bits,
+            "granularity": kv_config.granularity,
+            "group_size": kv_config.group_size,
+            "enabled": kv_config.enabled,
+        },
+    }
+
+
+def save_quantized_model(
+    path: str | Path,
+    model: Transformer,
+    kv_config: KVQuantConfig | None = None,
+) -> None:
+    """Write an FMPQ-quantized model to a ``.npz`` checkpoint.
+
+    Every quantizable linear must already be a
+    :class:`~repro.core.fmpq.QuantizedLinear`; mixed or unquantized models
+    are rejected so a checkpoint is always fully deployable.
+    """
+    arrays: dict[str, np.ndarray] = {
+        "__meta__": np.frombuffer(
+            json.dumps(_meta(model, kv_config)).encode(), dtype=np.uint8
+        ),
+        "embed.weight": model.embed.astype(np.float16),
+        "final_norm.gain": model.final_norm.gain.astype(np.float16),
+        "lm_head.weight": model.lm_head.weight.astype(np.float16),
+    }
+    for i, block in enumerate(model.blocks):
+        p = f"layers.{i}"
+        arrays[f"{p}.attn_norm.gain"] = block.attn_norm.gain.astype(np.float16)
+        arrays[f"{p}.mlp_norm.gain"] = block.mlp_norm.gain.astype(np.float16)
+    for name, linear in model.named_linears().items():
+        if not isinstance(linear, QuantizedLinear):
+            raise TypeError(
+                f"layer {name} is {type(linear).__name__}, not QuantizedLinear; "
+                "only fully FMPQ-quantized models can be checkpointed"
+            )
+        qw = linear.qweight
+        arrays[f"{name}.codes_packed"] = qw.packed_nibbles()
+        arrays[f"{name}.scales"] = qw.scales.astype(np.float16)
+        arrays[f"{name}.group_size"] = np.array([qw.group_size], dtype=np.int32)
+        arrays[f"{name}.weight_bits"] = np.array([qw.spec.bits], dtype=np.int32)
+        arrays[f"{name}.perm"] = linear.permutation.forward.astype(np.int32)
+        arrays[f"{name}.plan_is_high"] = linear.plan.is_high
+        arrays[f"{name}.block_size"] = np.array(
+            [linear.plan.config.block_size], dtype=np.int32
+        )
+        if linear.bias is not None:
+            arrays[f"{name}.bias"] = linear.bias.astype(np.float16)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+
+
+def load_quantized_model(
+    path: str | Path,
+) -> tuple[Transformer, KVQuantConfig | None]:
+    """Load a checkpoint written by :func:`save_quantized_model`.
+
+    Returns the reconstructed model (with :class:`QuantizedLinear` layers)
+    and the KV cache configuration it should serve with.
+    """
+    blob = np.load(Path(path))
+    meta = json.loads(bytes(blob["__meta__"]).decode())
+    if meta["version"] != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"checkpoint version {meta['version']} != {CHECKPOINT_VERSION}"
+        )
+    config = ModelConfig(**meta["config"])
+
+    # Build a skeleton with random linears, then replace every linear and
+    # overwrite the float parameters.
+    model = Transformer(config, params=init_params(config, seed=0))
+    model.embed = blob["embed.weight"].astype(np.float32)
+    model.final_norm.gain = blob["final_norm.gain"].astype(np.float32)
+    model.lm_head.weight = blob["lm_head.weight"].astype(np.float32)
+    for i, block in enumerate(model.blocks):
+        p = f"layers.{i}"
+        block.attn_norm.gain = blob[f"{p}.attn_norm.gain"].astype(np.float32)
+        block.mlp_norm.gain = blob[f"{p}.mlp_norm.gain"].astype(np.float32)
+
+    for name in model.named_linears():
+        qw = QuantizedWeight.from_packed(
+            blob[f"{name}.codes_packed"],
+            blob[f"{name}.scales"].astype(np.float32),
+            group_size=int(blob[f"{name}.group_size"][0]),
+        )
+        bits = int(blob[f"{name}.weight_bits"][0])
+        if bits != INT4.bits:
+            qw.spec = QuantSpec(bits=bits)
+        plan = BlockPrecisionPlan(
+            config=BlockConfig(block_size=int(blob[f"{name}.block_size"][0])),
+            is_high=blob[f"{name}.plan_is_high"],
+        )
+        bias_key = f"{name}.bias"
+        layer = QuantizedLinear(
+            qweight=qw,
+            permutation=ChannelPermutation(blob[f"{name}.perm"].astype(np.int64)),
+            plan=plan,
+            bias=blob[bias_key].astype(np.float32) if bias_key in blob else None,
+            name=name,
+        )
+        model.replace_linear(name, layer)
+
+    kv_meta = meta["kv_config"]
+    kv_config = None
+    if kv_meta is not None:
+        kv_config = KVQuantConfig(
+            spec=QuantSpec(bits=kv_meta["bits"]),
+            granularity=kv_meta["granularity"],
+            group_size=kv_meta["group_size"],
+            enabled=kv_meta["enabled"],
+        )
+    return model, kv_config

@@ -1,0 +1,96 @@
+"""FMPQ hyper-parameter tuning: outlier threshold and block size search.
+
+The outlier threshold trades accuracy against speed: a lower threshold
+flags more channels, producing more INT8 blocks (safer, slower); a higher
+threshold risks leaving true outliers inside INT4 blocks.  This module
+searches the threshold that meets a target W4A4 GEMM fraction while
+minimizing the activation reconstruction error — the knob a deployment
+would actually tune.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.blockwise import (
+    BlockConfig,
+    assign_block_precisions,
+    dequantize_activation_blocks,
+    quantize_activation_blocks,
+)
+from repro.core.outliers import collect_channel_stats, outlier_channel_mask
+from repro.core.permutation import (
+    identity_permutation,
+    outlier_clustering_permutation,
+)
+
+__all__ = ["ThresholdCandidate", "search_outlier_threshold"]
+
+_DEFAULT_GRID = (2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0)
+
+
+@dataclass(frozen=True)
+class ThresholdCandidate:
+    """One evaluated threshold setting."""
+
+    threshold: float
+    w4a4_fraction: float
+    reconstruction_mse: float
+    num_outlier_channels: int
+
+
+def search_outlier_threshold(
+    calibration_activations: np.ndarray,
+    block: BlockConfig | None = None,
+    min_w4a4_fraction: float = 0.84,
+    grid: tuple[float, ...] = _DEFAULT_GRID,
+) -> tuple[float, list[ThresholdCandidate]]:
+    """Pick the outlier threshold meeting a W4A4-volume target.
+
+    Among thresholds whose resulting plan executes at least
+    ``min_w4a4_fraction`` of the GEMM volume as W4A4 (the paper's >=84%
+    operating point), the one with the lowest activation reconstruction
+    MSE is selected.  If no threshold meets the target, the one with the
+    highest W4A4 fraction wins (ties by MSE).
+
+    Returns:
+        ``(best_threshold, all_candidates)``.
+    """
+    if not 0.0 <= min_w4a4_fraction <= 1.0:
+        raise ValueError("min_w4a4_fraction must be in [0, 1]")
+    if not grid:
+        raise ValueError("grid must be non-empty")
+    block = block or BlockConfig()
+    x = np.asarray(calibration_activations, dtype=np.float32)
+    stats = collect_channel_stats(x)
+    candidates: list[ThresholdCandidate] = []
+    for threshold in grid:
+        mask = outlier_channel_mask(stats, threshold)
+        if mask.any():
+            perm = outlier_clustering_permutation(mask, stats.score())
+        else:
+            perm = identity_permutation(x.shape[-1])
+        plan = assign_block_precisions(mask[perm.forward], block)
+        x_perm = perm.apply_to_activation(x)
+        recon = dequantize_activation_blocks(
+            quantize_activation_blocks(x_perm, plan)
+        )
+        mse = float(np.mean((recon - x_perm) ** 2))
+        candidates.append(
+            ThresholdCandidate(
+                threshold=threshold,
+                w4a4_fraction=plan.low_fraction,
+                reconstruction_mse=mse,
+                num_outlier_channels=int(mask.sum()),
+            )
+        )
+    feasible = [c for c in candidates if c.w4a4_fraction >= min_w4a4_fraction]
+    if feasible:
+        best = min(feasible, key=lambda c: c.reconstruction_mse)
+    else:
+        best = max(
+            candidates, key=lambda c: (c.w4a4_fraction, -c.reconstruction_mse)
+        )
+    return best.threshold, candidates

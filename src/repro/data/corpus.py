@@ -1,0 +1,124 @@
+"""Synthetic Zipf-Markov corpus — the stand-in for WikiText2/C4.
+
+The accuracy experiments need a stationary token source with learnable
+structure: quantization damage then shows up as a perplexity increase over
+the trained model's floor, exactly as on WikiText2.  We use a first-order
+Markov chain whose rows are Zipf-distributed over row-specific successor
+orderings.  The chain's exact entropy rate gives the information-theoretic
+perplexity floor, which tests use to confirm the tiny models actually learn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SyntheticCorpus"]
+
+
+class SyntheticCorpus:
+    """A seeded first-order Markov token source.
+
+    Args:
+        vocab_size: number of token types.
+        seed: seed for the chain construction (sampling takes its own seeds,
+            so one corpus can serve disjoint train/eval/calibration splits).
+        zipf_a: Zipf exponent of each row's successor distribution; larger
+            values make the chain more predictable.
+        branching: number of successors with non-negligible probability per
+            state (the rest share a small epsilon mass).
+    """
+
+    def __init__(
+        self,
+        vocab_size: int = 64,
+        seed: int = 0,
+        zipf_a: float = 1.5,
+        branching: int = 8,
+    ):
+        if vocab_size < 2:
+            raise ValueError("vocab_size must be at least 2")
+        if not 0 < branching <= vocab_size:
+            raise ValueError("branching must be in (0, vocab_size]")
+        self.vocab_size = vocab_size
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        ranks = np.arange(1, branching + 1, dtype=np.float64)
+        zipf = ranks**-zipf_a
+        eps_mass = 0.01
+        probs = np.full((vocab_size, vocab_size), eps_mass / vocab_size)
+        for s in range(vocab_size):
+            succ = rng.permutation(vocab_size)[:branching]
+            probs[s, succ] += (1.0 - eps_mass) * zipf / zipf.sum()
+        self.transition = probs / probs.sum(axis=1, keepdims=True)
+        self._stationary: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Exact chain statistics
+    # ------------------------------------------------------------------
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Stationary distribution via power iteration (cached)."""
+        if self._stationary is None:
+            pi = np.full(self.vocab_size, 1.0 / self.vocab_size)
+            for _ in range(500):
+                nxt = pi @ self.transition
+                if np.max(np.abs(nxt - pi)) < 1e-12:
+                    pi = nxt
+                    break
+                pi = nxt
+            self._stationary = pi / pi.sum()
+        return self._stationary
+
+    def entropy_rate(self) -> float:
+        """Exact entropy rate in nats — the minimum achievable eval loss."""
+        pi = self.stationary_distribution()
+        p = self.transition
+        row_h = -np.sum(np.where(p > 0, p * np.log(p), 0.0), axis=1)
+        return float(np.dot(pi, row_h))
+
+    def unigram_entropy(self) -> float:
+        """Entropy of the stationary distribution — the no-context baseline."""
+        pi = self.stationary_distribution()
+        return float(-np.sum(np.where(pi > 0, pi * np.log(pi), 0.0)))
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def sample_sequence(self, length: int, seed: int) -> np.ndarray:
+        """One token sequence of the given length."""
+        if length < 1:
+            raise ValueError("length must be positive")
+        rng = np.random.default_rng((self.seed, seed))
+        out = np.empty(length, dtype=np.int64)
+        out[0] = rng.choice(self.vocab_size, p=self.stationary_distribution())
+        for t in range(1, length):
+            out[t] = rng.choice(self.vocab_size, p=self.transition[out[t - 1]])
+        return out
+
+    def sample_continuation(self, state: int, length: int, seed: int) -> np.ndarray:
+        """Sample ``length`` tokens continuing from a given current token."""
+        if not 0 <= state < self.vocab_size:
+            raise ValueError(f"state {state} out of range")
+        if length < 1:
+            raise ValueError("length must be positive")
+        rng = np.random.default_rng((self.seed, 7_654_321, seed))
+        out = np.empty(length, dtype=np.int64)
+        cur = state
+        for t in range(length):
+            cur = rng.choice(self.vocab_size, p=self.transition[cur])
+            out[t] = cur
+        return out
+
+    def batch(self, batch_size: int, seq_len: int, seed: int) -> np.ndarray:
+        """A ``(batch, seq)`` array of independent sequences."""
+        return np.stack(
+            [
+                self.sample_sequence(seq_len, seed * 100_003 + b)
+                for b in range(batch_size)
+            ]
+        )
+
+    def continuation_logprob_table(self) -> np.ndarray:
+        """Log transition matrix, used by the synthetic zero-shot tasks."""
+        return np.log(self.transition)

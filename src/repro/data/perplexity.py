@@ -1,0 +1,58 @@
+"""Perplexity evaluation — the WikiText2 stand-in (paper Table 1).
+
+Perplexity is computed teacher-forced over held-out corpus sequences.  When
+a KV quantization config is supplied, the forward pass routes keys and
+values through the quantized cache so KV4 error shows up in the metric,
+exactly as the paper's "KV4" rows include cache quantization error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kvquant import KVQuantConfig
+from repro.data.corpus import SyntheticCorpus
+from repro.model.tensorops import log_softmax
+from repro.model.transformer import Transformer
+
+__all__ = ["evaluate_perplexity", "sequence_logprobs"]
+
+
+def sequence_logprobs(
+    model: Transformer,
+    tokens: np.ndarray,
+    kv_config: KVQuantConfig | None = None,
+) -> np.ndarray:
+    """Per-position next-token log-probabilities for one sequence.
+
+    Returns an array of length ``len(tokens) - 1`` where entry ``t`` is
+    ``log p(tokens[t+1] | tokens[:t+1])``.
+    """
+    tokens = np.asarray(tokens)
+    if tokens.ndim != 1 or tokens.shape[0] < 2:
+        raise ValueError("tokens must be a 1-D sequence of length >= 2")
+    cache = model.new_cache(kv_config) if kv_config is not None else None
+    logits = model.forward(tokens, cache)
+    logp = log_softmax(logits[:-1], axis=-1)
+    return logp[np.arange(tokens.shape[0] - 1), tokens[1:]]
+
+
+def evaluate_perplexity(
+    model: Transformer,
+    corpus: SyntheticCorpus,
+    num_sequences: int = 16,
+    seq_len: int = 48,
+    kv_config: KVQuantConfig | None = None,
+    seed: int = 900_000,
+) -> float:
+    """Mean perplexity over held-out sequences (lower is better)."""
+    if num_sequences < 1:
+        raise ValueError("num_sequences must be positive")
+    total = 0.0
+    count = 0
+    for i in range(num_sequences):
+        seq = corpus.sample_sequence(seq_len, seed=seed + i)
+        lp = sequence_logprobs(model, seq, kv_config)
+        total += float(lp.sum())
+        count += lp.shape[0]
+    return float(np.exp(-total / count))

@@ -1,0 +1,114 @@
+"""Instruction-level cost model: mma shapes, tensor-core and CUDA-core time.
+
+Timing granularity follows the paper's kernel analysis: a tile's execution
+decomposes into four stages — global->shared load (``cp.async``),
+shared->register load (``ldmatrix``), CUDA-core data conversion, and
+tensor-core ``mma`` — which the SIMT-enhanced software pipeline of Section
+4.2 overlaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.memory import global_load_time, smem_load_time
+from repro.gpu.spec import GPUSpec
+
+__all__ = ["MMA_SHAPES", "StageTimes", "mma_time", "conversion_time", "stage_times"]
+
+#: Tensor-core mma instruction shapes (m, n, k) on Ampere, per precision.
+MMA_SHAPES: dict[str, tuple[int, int, int]] = {
+    "fp16": (16, 8, 16),
+    "int8": (16, 8, 32),
+    "int4": (16, 8, 64),
+}
+
+
+@dataclass(frozen=True)
+class StageTimes:
+    """Per-stage seconds for one tile on one SM.
+
+    Attributes:
+        load: global memory -> shared memory.
+        smem: shared memory -> registers (ldmatrix), incl. bank conflicts.
+        convert: CUDA-core numeric conversion / permutation work.
+        mma: tensor-core matrix-multiply-accumulate work.
+    """
+
+    load: float
+    smem: float
+    convert: float
+    mma: float
+
+    def pipelined(self) -> float:
+        """Tile time under the two-level software pipeline (Section 4.2).
+
+        Level 1 hides the off-chip load behind on-chip work; level 2
+        (double buffering) overlaps CUDA-core conversion with tensor-core
+        compute.  In steady state the tile costs the slowest stage.
+        """
+        on_chip = max(self.smem + self.mma, self.convert)
+        return max(self.load, on_chip)
+
+    def serial(self) -> float:
+        """Tile time without any pipelining: stages run back-to-back."""
+        return self.load + self.smem + self.convert + self.mma
+
+    def convert_overlapped_only(self) -> float:
+        """Double buffering only (loads not overlapped): the 'w/o software
+        pipeline' ablation keeps conversion on CUDA cores concurrent with
+        mma but waits for loads."""
+        return self.load + max(self.smem + self.mma, self.convert)
+
+
+def mma_time(
+    spec: GPUSpec, m: int, n: int, k: int, precision: str
+) -> float:
+    """Tensor-core seconds for an ``m x n x k`` tile at a precision.
+
+    Work is issued at mma-instruction granularity, so each dimension rounds
+    up to the instruction shape — small-``m`` decode tiles waste rows
+    exactly as real tensor cores do.
+    """
+    im, inn, ik = MMA_SHAPES[precision]
+    m_eff = -(-m // im) * im
+    n_eff = -(-n // inn) * inn
+    k_eff = -(-k // ik) * ik
+    ops = 2.0 * m_eff * n_eff * k_eff
+    return ops / spec.tc_tput_per_sm(precision)
+
+
+def conversion_time(
+    spec: GPUSpec, num_values: float, instructions_per_value: float
+) -> float:
+    """CUDA-core seconds to convert ``num_values`` data points.
+
+    ``instructions_per_value`` is the paper's currency: the naive INT4->INT8
+    path costs ~10 instructions per value, the optimized path 2
+    (Section 4.3, Figure 7).
+    """
+    if num_values < 0 or instructions_per_value < 0:
+        raise ValueError("conversion work must be non-negative")
+    return num_values * instructions_per_value / spec.cuda_int_tput_per_sm
+
+
+def stage_times(
+    spec: GPUSpec,
+    load_bytes: float,
+    smem_bytes: float,
+    conflict_factor: float,
+    convert_values: float,
+    instructions_per_value: float,
+    m: int,
+    n: int,
+    k: int,
+    precision: str,
+    active_sms: int | None = None,
+) -> StageTimes:
+    """Assemble the four stage times of one GEMM tile."""
+    return StageTimes(
+        load=global_load_time(spec, load_bytes, active_sms),
+        smem=smem_load_time(spec, smem_bytes, conflict_factor),
+        convert=conversion_time(spec, convert_values, instructions_per_value),
+        mma=mma_time(spec, m, n, k, precision),
+    )

@@ -1,0 +1,197 @@
+"""Tile-schedule simulator: maps tile tasks onto SMs under a scheduling
+policy and reports the kernel makespan.
+
+This is the execution model behind the paper's Section 4.4 (Figure 8):
+
+* ``WAVE_BARRIER`` — the naive schedule: tiles issue in fixed waves of
+  ``num_sms`` and a synchronization barrier closes every wave, so each wave
+  costs its *slowest* tile (Figure 8b).
+* ``STATIC_QUEUE`` — barrier minimization: tiles keep their fixed SM binding
+  but only the final write-back barrier remains (Figure 8c).
+* ``BALANCED`` — tile remapping: tiles are redistributed across SMs with a
+  longest-processing-time greedy so per-SM work is even (Figure 8d).
+* ``WORK_STEALING`` — tile decomposition: the one-to-one tile/SM binding is
+  relaxed and idle SMs steal fractions of busy SMs' remaining tiles,
+  flattening the ragged final wave (Figure 8e).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["TileTask", "SchedulePolicy", "ScheduleResult", "simulate_schedule"]
+
+
+@dataclass(frozen=True)
+class TileTask:
+    """One tile's worth of work.
+
+    Attributes:
+        duration: seconds of SM time the tile needs.
+        divisible: whether work stealing may split this tile (reductions
+            make some tiles atomic).
+        tag: free-form label ('int4'/'int8') for reporting.
+    """
+
+    duration: float
+    divisible: bool = True
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError("duration must be non-negative")
+
+
+class SchedulePolicy(Enum):
+    WAVE_BARRIER = "wave_barrier"
+    STATIC_QUEUE = "static_queue"
+    BALANCED = "balanced"
+    WORK_STEALING = "work_stealing"
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of simulating one kernel's tile schedule."""
+
+    policy: SchedulePolicy
+    makespan: float
+    per_sm_busy: np.ndarray
+    num_waves: int
+    sync_time: float
+
+    @property
+    def total_busy(self) -> float:
+        return float(self.per_sm_busy.sum())
+
+    @property
+    def utilization(self) -> float:
+        """Mean SM busy fraction over the kernel duration (excl. sync)."""
+        span = self.makespan - self.sync_time
+        if span <= 0:
+            return 1.0
+        return float(self.per_sm_busy.mean() / span)
+
+
+def _wave_barrier(durations: list[float], num_sms: int, sync: float):
+    busy = np.zeros(num_sms)
+    makespan = 0.0
+    waves = 0
+    for w0 in range(0, len(durations), num_sms):
+        wave = durations[w0 : w0 + num_sms]
+        for sm, d in enumerate(wave):
+            busy[sm] += d
+        makespan += max(wave) + sync
+        waves += 1
+    return makespan, busy, waves, sync * waves
+
+
+def _static_queue(durations: list[float], num_sms: int, sync: float):
+    busy = np.zeros(num_sms)
+    for i, d in enumerate(durations):
+        busy[i % num_sms] += d
+    waves = -(-len(durations) // num_sms) if durations else 0
+    return float(busy.max()) + sync, busy, waves, sync
+
+
+def _lpt_assign(durations: list[float], num_sms: int) -> list[list[float]]:
+    """Longest-processing-time greedy assignment."""
+    heap = [(0.0, sm) for sm in range(num_sms)]
+    heapq.heapify(heap)
+    queues: list[list[float]] = [[] for _ in range(num_sms)]
+    for d in sorted(durations, reverse=True):
+        load, sm = heapq.heappop(heap)
+        queues[sm].append(d)
+        heapq.heappush(heap, (load + d, sm))
+    return queues
+
+
+def _balanced(durations: list[float], num_sms: int, sync: float):
+    # Remapping may always keep the original static binding, so take the
+    # better of the LPT remap and the round-robin identity mapping (LPT is
+    # a heuristic and can lose on adversarial inputs).
+    lpt_busy = np.array([sum(q) for q in _lpt_assign(durations, num_sms)])
+    rr_busy = np.zeros(num_sms)
+    for i, d in enumerate(durations):
+        rr_busy[i % num_sms] += d
+    busy = lpt_busy if lpt_busy.max() <= rr_busy.max() else rr_busy
+    waves = -(-len(durations) // num_sms) if durations else 0
+    return float(busy.max()) + sync, busy, waves, sync
+
+
+def _work_stealing(
+    tasks: list[TileTask],
+    num_sms: int,
+    sync: float,
+    steal_overhead: float,
+    max_split: int,
+):
+    durations = [t.duration for t in tasks]
+    _, balanced_busy, _, _ = _balanced(durations, num_sms, 0.0)
+    busy = np.asarray(balanced_busy, dtype=np.float64).copy()
+    # Idle SMs steal halves of the largest remaining piece; every stolen
+    # piece pays a shared-memory re-load overhead.  Pieces stop splitting
+    # below 1/max_split of the original tile.
+    divisible = any(t.divisible for t in tasks)
+    if divisible and len(durations) > 0:
+        min_piece = max(durations) / max_split
+        for _ in range(16 * num_sms):
+            hi = int(busy.argmax())
+            lo = int(busy.argmin())
+            gap = busy[hi] - busy[lo]
+            if gap <= min_piece:
+                break
+            moved = min(gap / 2.0, busy[hi] / 2.0)
+            if moved < min_piece / 2:
+                break
+            busy[hi] -= moved
+            busy[lo] += moved * (1.0 + steal_overhead)
+    waves = -(-len(durations) // num_sms) if durations else 0
+    return float(busy.max()) + sync, busy, waves, sync
+
+
+def simulate_schedule(
+    tasks: list[TileTask],
+    num_sms: int,
+    policy: SchedulePolicy = SchedulePolicy.WORK_STEALING,
+    sync_overhead: float = 1e-6,
+    steal_overhead: float = 0.05,
+    max_split: int = 8,
+) -> ScheduleResult:
+    """Simulate a tile schedule and return the kernel makespan.
+
+    Args:
+        tasks: tile workload (order matters for the fixed-binding policies).
+        num_sms: available streaming multiprocessors.
+        policy: scheduling strategy (see class docstring).
+        sync_overhead: cost of one inter-SM barrier.
+        steal_overhead: fractional cost a stolen piece pays (data re-load).
+        max_split: maximum pieces a tile may be decomposed into.
+    """
+    if num_sms <= 0:
+        raise ValueError("num_sms must be positive")
+    if not tasks:
+        return ScheduleResult(policy, 0.0, np.zeros(num_sms), 0, 0.0)
+    durations = [t.duration for t in tasks]
+    if policy is SchedulePolicy.WAVE_BARRIER:
+        makespan, busy, waves, sync = _wave_barrier(durations, num_sms, sync_overhead)
+    elif policy is SchedulePolicy.STATIC_QUEUE:
+        makespan, busy, waves, sync = _static_queue(durations, num_sms, sync_overhead)
+    elif policy is SchedulePolicy.BALANCED:
+        makespan, busy, waves, sync = _balanced(durations, num_sms, sync_overhead)
+    elif policy is SchedulePolicy.WORK_STEALING:
+        makespan, busy, waves, sync = _work_stealing(
+            tasks, num_sms, sync_overhead, steal_overhead, max_split
+        )
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown policy {policy}")
+    return ScheduleResult(
+        policy=policy,
+        makespan=makespan,
+        per_sm_busy=np.asarray(busy),
+        num_waves=waves,
+        sync_time=sync,
+    )

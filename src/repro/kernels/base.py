@@ -1,0 +1,255 @@
+"""Kernel timing framework: stage costing + SM scheduling for GEMM kernels.
+
+Every kernel (COMET-W4Ax and all baselines) shares the execution model:
+
+1. the GEMM is tiled (:mod:`repro.kernels.tiling`);
+2. each tile's on-chip time is ``smem + convert + mma`` — shared-memory
+   operand movement (with bank-conflict multipliers), CUDA-core format
+   conversion, tensor-core math;
+3. tiles are scheduled across SMs under a policy
+   (:mod:`repro.gpu.simulator`);
+4. with the software pipeline, off-chip traffic overlaps compute, so kernel
+   latency is the max of the on-chip makespan and the DRAM roofline;
+   without it, each tile serializes its load with its compute;
+5. launch, dynamic activation quantization, and split-k reduction overheads
+   are added.
+
+A kernel's behaviour is specified by a :class:`PrecisionProfile` per tile
+precision: the byte widths of its operands, conversion instruction counts,
+and the mma format.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.gpu.isa import conversion_time, mma_time
+from repro.gpu.memory import global_load_time, smem_load_time
+from repro.gpu.simulator import SchedulePolicy, TileTask, simulate_schedule
+from repro.gpu.spec import A100_80G_SXM4, GPUSpec
+from repro.kernels.tiling import GEMMShape, TileShape, WorkTile, build_tiles
+
+__all__ = ["PrecisionProfile", "KernelLatency", "GEMMKernel"]
+
+#: Split-k occupancy target: aim for two waves' worth of thread blocks.
+_OCCUPANCY_FACTOR = 2
+
+
+@dataclass(frozen=True)
+class PrecisionProfile:
+    """Per-element tile costs for one activation precision.
+
+    Attributes:
+        act_load_bytes: DRAM bytes per activation element.
+        weight_load_bytes: DRAM bytes per weight element.
+        act_smem_bytes: shared->register bytes per activation element.
+        weight_smem_bytes: shared->register bytes per weight element.
+        smem_serialization: multiplier on the tile's whole shared-memory
+            stage.  Bank conflicts and duplicated ldmatrix issues serialize
+            the operand feed (warps replay the access while the pipeline
+            stalls), so the penalty applies to the stage, not just the
+            conflicting bytes.
+        convert_per_weight: CUDA instructions per weight element for format
+            conversion (0 when operands are mma-native).
+        mma_precision: tensor-core format executing the tile.
+    """
+
+    act_load_bytes: float
+    weight_load_bytes: float
+    act_smem_bytes: float
+    weight_smem_bytes: float
+    smem_serialization: float
+    convert_per_weight: float
+    mma_precision: str
+
+
+@dataclass(frozen=True)
+class KernelLatency:
+    """Latency estimate plus its breakdown."""
+
+    seconds: float
+    onchip_makespan: float
+    dram_seconds: float
+    overhead_seconds: float
+    tile: TileShape
+    num_tiles: int
+    utilization: float
+
+    @property
+    def dram_bound(self) -> bool:
+        return self.dram_seconds > self.onchip_makespan
+
+
+class GEMMKernel(ABC):
+    """Base class for timed GEMM kernels."""
+
+    name: str = "gemm"
+
+    def __init__(
+        self,
+        spec: GPUSpec = A100_80G_SXM4,
+        policy: SchedulePolicy = SchedulePolicy.BALANCED,
+        pipelined: bool = True,
+        act_quant_instr: float = 0.0,
+    ):
+        self.spec = spec
+        self.policy = policy
+        self.pipelined = pipelined
+        self.act_quant_instr = act_quant_instr
+
+    # ------------------------------------------------------------------
+    # Kernel-specific configuration
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def profile(self, precision: str) -> PrecisionProfile:
+        """Cost profile for tiles of a given activation precision."""
+
+    def precision_source(self, shape: GEMMShape) -> dict:
+        """kwargs for :func:`build_tiles` selecting tile precisions.
+
+        Uniform kernels return a 0/1 ``int8_fraction``; COMET overrides.
+        """
+        return {"int8_fraction": 0.0}
+
+    def candidate_tiles(self, shape: GEMMShape) -> list[TileShape]:
+        """Tile shapes the kernel may choose from (vendor kernels adapt;
+        COMET fixes 128x128x128 to keep the mixed-precision layout)."""
+        return [TileShape()]
+
+    # ------------------------------------------------------------------
+    # Costing
+    # ------------------------------------------------------------------
+
+    def _fits_shared_memory(self, tile: TileShape) -> bool:
+        # Residency = loaded operands plus the mma-format copies (for
+        # kernels that convert in shared memory); smem *traffic* includes
+        # replays and does not count against capacity.
+        probe = self.profile(self._worst_precision())
+        operand_bytes = {"fp16": 2.0, "int8": 1.0, "int4": 0.5}[probe.mma_precision]
+        stage_bytes = (
+            tile.tm * tile.tk * max(probe.act_load_bytes, operand_bytes)
+            + tile.tn * tile.tk * max(probe.weight_load_bytes, operand_bytes)
+        )
+        return 2 * stage_bytes <= self.spec.shared_mem_per_sm  # double buffer
+
+    def _worst_precision(self) -> str:
+        return "int8" if "int8" in self._used_precisions() else self._used_precisions()[0]
+
+    def _used_precisions(self) -> list[str]:
+        return ["int4", "int8"]
+
+    def tile_onchip_time(self, wt: WorkTile) -> float:
+        """Shared-memory + conversion + tensor-core time for one tile."""
+        p = self.profile(wt.precision)
+        smem_bytes = (
+            wt.rows * wt.depth * p.act_smem_bytes
+            + wt.cols * wt.depth * p.weight_smem_bytes
+        )
+        smem = smem_load_time(self.spec, smem_bytes, p.smem_serialization)
+        conv = conversion_time(self.spec, wt.cols * wt.depth, p.convert_per_weight)
+        mma = mma_time(self.spec, wt.rows, wt.cols, wt.depth, p.mma_precision)
+        return smem + conv + mma
+
+    def tile_load_time(self, wt: WorkTile, active_sms: int) -> float:
+        p = self.profile(wt.precision)
+        nbytes = (
+            wt.rows * wt.depth * p.act_load_bytes
+            + wt.cols * wt.depth * p.weight_load_bytes
+        )
+        return global_load_time(self.spec, nbytes, active_sms)
+
+    def dram_traffic_bytes(self, shape: GEMMShape, tiles: list[WorkTile]) -> float:
+        """Unique-or-streamed DRAM traffic, with L2 capturing small operands."""
+        m_tiles = len({t.mi for t in tiles})
+        n_tiles = len({t.ni for t in tiles})
+        act_unique = 0.0
+        weight_unique = 0.0
+        for t in tiles:
+            p = self.profile(t.precision)
+            # Summing over all tiles counts each activation region n_tiles
+            # times and each weight region m_tiles times; divide back out.
+            act_unique += t.rows * t.depth * p.act_load_bytes / max(n_tiles, 1)
+            weight_unique += t.cols * t.depth * p.weight_load_bytes / max(m_tiles, 1)
+        # Operands that fit in L2 hit DRAM once; larger ones stream per pass.
+        act_traffic = act_unique * (1 if act_unique <= self.spec.l2_capacity else n_tiles)
+        weight_traffic = weight_unique * (
+            1 if weight_unique <= self.spec.l2_capacity else m_tiles
+        )
+        out_bytes = 2.0 * shape.m * shape.n  # FP16 output writes
+        return act_traffic + weight_traffic + out_bytes
+
+    def _reduction_overhead(self, tiles: list[WorkTile]) -> float:
+        """Split-k partial-sum combine cost (write + read at HBM rate)."""
+        extra = sum(1 for t in tiles if t.needs_reduction)
+        if extra == 0:
+            return 0.0
+        outputs = len({(t.mi, t.ni) for t in tiles})
+        partials = extra - outputs if extra > outputs else 0
+        nbytes = 2.0 * 4.0 * sum(
+            t.rows * t.cols for t in tiles if t.needs_reduction
+        ) * (partials / max(extra, 1))
+        return nbytes / self.spec.hbm_bandwidth + self.spec.tile_sync_overhead
+
+    def latency(self, shape: GEMMShape) -> KernelLatency:
+        """Estimate kernel latency, choosing the best candidate tile shape."""
+        best: KernelLatency | None = None
+        for tile in self.candidate_tiles(shape):
+            if not self._fits_shared_memory(tile):
+                continue
+            cand = self._latency_for_tile(shape, tile)
+            if best is None or cand.seconds < best.seconds:
+                best = cand
+        if best is None:
+            raise ValueError(
+                f"{self.name}: no candidate tile fits shared memory "
+                f"({self.spec.shared_mem_per_sm} B)"
+            )
+        return best
+
+    def _latency_for_tile(self, shape: GEMMShape, tile: TileShape) -> KernelLatency:
+        spec = self.spec
+        tiles = build_tiles(
+            shape,
+            tile,
+            target_tiles=_OCCUPANCY_FACTOR * spec.num_sms,
+            **self.precision_source(shape),
+        )
+        active = min(len(tiles), spec.num_sms)
+        if self.pipelined:
+            durations = [self.tile_onchip_time(t) for t in tiles]
+        else:
+            durations = [
+                self.tile_onchip_time(t) + self.tile_load_time(t, active)
+                for t in tiles
+            ]
+        tasks = [
+            TileTask(duration=d, tag=t.precision)
+            for d, t in zip(durations, tiles)
+        ]
+        sched = simulate_schedule(
+            tasks, spec.num_sms, self.policy, sync_overhead=spec.tile_sync_overhead
+        )
+        dram_seconds = self.dram_traffic_bytes(shape, tiles) / spec.hbm_bandwidth
+        span = (
+            max(sched.makespan, dram_seconds) if self.pipelined else sched.makespan
+        )
+        # Dynamic activation quantization runs once over the input across
+        # all SMs, so divide the per-SM conversion time by the SM count.
+        act_quant = (
+            conversion_time(spec, shape.m * shape.k, self.act_quant_instr)
+            / spec.num_sms
+        )
+        overhead = (
+            spec.kernel_launch_overhead + act_quant + self._reduction_overhead(tiles)
+        )
+        return KernelLatency(
+            seconds=span + overhead,
+            onchip_makespan=sched.makespan,
+            dram_seconds=dram_seconds,
+            overhead_seconds=overhead,
+            tile=tile,
+            num_tiles=len(tiles),
+            utilization=sched.utilization,
+        )

@@ -1,0 +1,128 @@
+"""INT4 -> INT8 data conversion: the naive and fast paths (paper Fig. 7).
+
+Tensor cores only multiply same-format operands, so W4A8 tiles must convert
+INT4 weights to INT8 on the CUDA cores first.  The naive path costs ~10
+instructions per value (4-bit shifts and sign extension are not PTX
+primitives).  COMET's fast path costs 2 instructions per value pair by
+
+1. **location switch** — storing the four nibbles of each 16-bit word in the
+   order ``(W3, W1, W2, W0)`` instead of ``(W3, W2, W1, W0)``, so each output
+   INT8 pair is extracted with a single mask (plus one shift for the low
+   pair); and
+2. **zero extension** — extracting each nibble into the *high* nibble of its
+   output byte.  A signed nibble ``v`` lands as the INT8 value ``16 * v``
+   with its sign bit already in place, so no sign-extension instructions are
+   needed; the GEMM scale absorbs the factor 16 (``scale / 16``).
+
+Both paths are implemented with real bit manipulation and verified against
+each other in the tests.  ``FAST_INSTRUCTIONS_PER_VALUE`` and
+``NAIVE_INSTRUCTIONS_PER_VALUE`` feed the kernel cost model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "NAIVE_INSTRUCTIONS_PER_VALUE",
+    "FAST_INSTRUCTIONS_PER_VALUE",
+    "FAST_CONVERSION_SCALE_DIVISOR",
+    "pack_int4_words_swapped",
+    "naive_int4to8",
+    "fast_int4to8",
+    "fp4_to_int8_shift",
+]
+
+#: Paper Section 4.3: the naive conversion takes "up to 10 instructions".
+NAIVE_INSTRUCTIONS_PER_VALUE = 10.0
+#: Paper Section 4.3: the optimized conversion takes 2 instructions.
+FAST_INSTRUCTIONS_PER_VALUE = 2.0
+#: Zero extension leaves every value multiplied by 16; the kernel divides
+#: the tile's dequantization scale by this.
+FAST_CONVERSION_SCALE_DIVISOR = 16.0
+
+
+def pack_int4_words_swapped(values: np.ndarray) -> np.ndarray:
+    """Pack four INT4 codes per uint16 word with W1/W2 swapped.
+
+    Logical values ``(v0, v1, v2, v3)`` are stored in nibbles
+    ``(0, 2, 1, 3)`` — i.e. bit layout ``[v3 | v1 | v2 | v0]`` — which is
+    the location switch enabling single-mask extraction (Figure 7b).
+    """
+    values = np.asarray(values)
+    if values.shape[-1] % 4 != 0:
+        raise ValueError("last axis must be a multiple of 4")
+    if values.min(initial=0) < -8 or values.max(initial=0) > 7:
+        raise ValueError("values out of INT4 range")
+    u = (values.astype(np.int32) & 0xF).astype(np.uint16)
+    v0, v1, v2, v3 = u[..., 0::4], u[..., 1::4], u[..., 2::4], u[..., 3::4]
+    return (v0 | (v2 << 4) | (v1 << 8) | (v3 << 12)).astype(np.uint16)
+
+
+def naive_int4to8(words: np.ndarray) -> np.ndarray:
+    """Reference conversion from standard-order packed words to INT8 codes.
+
+    Emulates the instruction-heavy path: per nibble, shift into place and
+    sign-extend explicitly.  Input uses the *standard* nibble order
+    ``(v0, v1, v2, v3)`` of :func:`repro.core.intquant.pack_int4_words`.
+
+    Returns:
+        int8 array with 4 values per input word, exact (not scaled).
+    """
+    words = np.asarray(words, dtype=np.uint16)
+    out = np.empty(words.shape[:-1] + (words.shape[-1] * 4,), dtype=np.int8)
+    for j in range(4):
+        nib = ((words >> (4 * j)) & 0xF).astype(np.int16)
+        nib = np.where(nib >= 8, nib - 16, nib)  # explicit sign extension
+        out[..., j::4] = nib.astype(np.int8)
+    return out
+
+
+def fast_int4to8(words_swapped: np.ndarray) -> np.ndarray:
+    """The 2-instruction conversion (Figure 7b), bit-exact emulation.
+
+    Args:
+        words_swapped: uint16 words from :func:`pack_int4_words_swapped`.
+
+    Returns:
+        int8 array with 4 values per word, each equal to ``16 *`` the
+        original INT4 value (divide the GEMM scale by
+        :data:`FAST_CONVERSION_SCALE_DIVISOR` to compensate).
+    """
+    w = np.asarray(words_swapped, dtype=np.uint16)
+    # Instruction 1: lo pair = (w << 4) & 0xF0F0  -> bytes (16*v1, 16*v0).
+    lo = ((w.astype(np.uint32) << 4) & 0xF0F0).astype(np.uint16)
+    # Instruction 2: hi pair = w & 0xF0F0         -> bytes (16*v3, 16*v2).
+    hi = (w & np.uint16(0xF0F0)).astype(np.uint16)
+    out = np.empty(w.shape[:-1] + (w.shape[-1] * 4,), dtype=np.int8)
+    out[..., 0::4] = (lo & 0xFF).astype(np.uint8).view(np.int8)
+    out[..., 1::4] = (lo >> 8).astype(np.uint8).view(np.int8)
+    out[..., 2::4] = (hi & 0xFF).astype(np.uint8).view(np.int8)
+    out[..., 3::4] = (hi >> 8).astype(np.uint8).view(np.int8)
+    return out
+
+
+def fp4_to_int8_shift(codes: np.ndarray) -> np.ndarray:
+    """FP4 (e2m1) -> scaled INT8 via shifts — the H100 path (Section 4.3).
+
+    The sign and mantissa bits stay in place; the exponent maps to a shift:
+    exponent pattern ``e`` scales the mantissa by ``2**(e-1)`` (subnormal at
+    ``e == 0``).  Values are returned scaled by 2 so the subnormal half-step
+    stays integral; the GEMM scale divides by 2.
+
+    Args:
+        codes: uint8 array of 4-bit FP4 codes (values 0..15) stored one per
+            byte: bit 3 sign, bits 1-2 exponent, bit 0 mantissa.
+    """
+    c = np.asarray(codes, dtype=np.uint8)
+    if c.max(initial=0) > 0xF:
+        raise ValueError("FP4 codes must fit in 4 bits")
+    sign = np.where((c >> 3) & 1, -1, 1).astype(np.int16)
+    exp = ((c >> 1) & 0x3).astype(np.int16)
+    man = (c & 1).astype(np.int16)
+    # value = (-1)^s * (1 + m/2) * 2^(e-1), subnormal: m/2 * 2^0 at e=0.
+    # Times 2: normal -> (2 + m) << (e - 1); subnormal -> m.
+    normal = (2 + man) * (1 << np.maximum(exp - 1, 0))
+    normal = np.where(exp == 1, 2 + man, normal)  # 2^(0) case, no shift
+    out = np.where(exp == 0, man, normal) * sign
+    return out.astype(np.int8)

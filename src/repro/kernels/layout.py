@@ -1,0 +1,132 @@
+"""Mixed-precision data layout: weight interleaving for W4A8 (paper Fig. 6).
+
+When a W8A8-shaped ``ldmatrix`` pattern reads INT4-packed weights, each
+thread's required values occupy *half* the bytes the pattern assumes, so
+consecutive threads' 32-bit reads overlap and straddle bank words — shared
+memory serializes the access and a second ``ldmatrix`` issue is needed.
+
+COMET interleaves the weights so every thread's values for both mma operands
+are contiguous and word-aligned: thread ``t`` owns physical bytes
+``[4t, 4t+4)``, giving one conflict-free ``ldmatrix`` per tile slice.
+
+The layout transform is implemented for real (and inverted exactly); the
+address-pattern analysis feeds the kernel cost model through
+:func:`ldmatrix_plan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.memory import bank_conflict_degree
+
+__all__ = [
+    "interleave_for_ldmatrix",
+    "deinterleave_from_ldmatrix",
+    "naive_w4a8_thread_addresses",
+    "interleaved_w4a8_thread_addresses",
+    "LdmatrixPlan",
+    "ldmatrix_plan",
+]
+
+#: Values each thread consumes per W4A8 ldmatrix slice (8 INT4 = 4 bytes).
+_VALUES_PER_THREAD = 8
+_CHUNK = 16  # values covered by one interleaving unit (two threads)
+_SPAN = 4    # contiguous values per half-load
+
+
+def interleave_for_ldmatrix(values: np.ndarray) -> np.ndarray:
+    """Reorder INT4 values so each thread's loads are contiguous.
+
+    Within every 16-value chunk owned by a thread pair (paper Figure 6b),
+    the logical order ``[T0:0-7 | T1:0-7]`` becomes the physical order
+    ``[T0:0-3 | T1:0-3 | T0:4-7 | T1:4-7]`` so thread T0 reads physical
+    slots 0-3 and 8-11 with a single instruction and no overlap with T1.
+    """
+    values = np.asarray(values)
+    if values.shape[-1] % _CHUNK != 0:
+        raise ValueError(f"last axis must be a multiple of {_CHUNK}")
+    lead = values.shape[:-1]
+    chunks = values.reshape(*lead, -1, 2, 2, _SPAN)  # (chunk, thread, half, span)
+    swapped = chunks.swapaxes(-3, -2)  # -> (chunk, half, thread, span)
+    return swapped.reshape(*lead, values.shape[-1])
+
+
+def deinterleave_from_ldmatrix(values: np.ndarray) -> np.ndarray:
+    """Exact inverse of :func:`interleave_for_ldmatrix`."""
+    values = np.asarray(values)
+    if values.shape[-1] % _CHUNK != 0:
+        raise ValueError(f"last axis must be a multiple of {_CHUNK}")
+    lead = values.shape[:-1]
+    chunks = values.reshape(*lead, -1, 2, 2, _SPAN)  # (chunk, half, thread, span)
+    swapped = chunks.swapaxes(-3, -2)  # -> (chunk, thread, half, span)
+    return swapped.reshape(*lead, values.shape[-1])
+
+
+def naive_w4a8_thread_addresses(num_threads: int = 32) -> np.ndarray:
+    """Byte addresses each thread touches under the naive layout.
+
+    Thread ``t`` needs logical values ``[8t, 8t+8)``; packed at 2 values per
+    byte its 4-byte read starts at byte ``4t`` — but the INT8-shaped
+    ``ldmatrix`` issues *two* half-reads at int8-pattern offsets, each
+    straddling the neighbour's word: the first at byte ``8t`` and the second
+    at ``8t + 4`` *in int8 value space*, which in int4 storage land at bytes
+    ``4t`` and ``4t + 2``.  The 2-byte-misaligned second read shares its bank
+    word with thread ``t+1``'s first read.
+
+    Returns:
+        array of shape ``(2, num_threads)``: per-instruction, per-thread
+        starting byte addresses.
+    """
+    t = np.arange(num_threads)
+    first = 4 * t
+    second = 4 * t + 2
+    return np.stack([first, second])
+
+
+def interleaved_w4a8_thread_addresses(num_threads: int = 32) -> np.ndarray:
+    """Byte addresses under the interleaved layout: one aligned read each.
+
+    Returns:
+        array of shape ``(1, num_threads)``.
+    """
+    t = np.arange(num_threads)
+    return (4 * t)[None, :]
+
+
+@dataclass(frozen=True)
+class LdmatrixPlan:
+    """Cost summary of loading one W4A8 weight slice from shared memory.
+
+    Attributes:
+        instructions: ldmatrix issues needed.
+        passes_per_instruction: serialization degree of each issue
+            (1 = conflict-free).
+    """
+
+    instructions: int
+    passes_per_instruction: tuple[float, ...]
+
+    @property
+    def relative_cost(self) -> float:
+        """Total serialized passes relative to the ideal single-issue plan."""
+        return float(sum(self.passes_per_instruction))
+
+
+def ldmatrix_plan(interleaved: bool, num_threads: int = 32) -> LdmatrixPlan:
+    """Instruction count and bank-conflict degree for a weight slice load."""
+    if interleaved:
+        addrs = interleaved_w4a8_thread_addresses(num_threads)
+    else:
+        addrs = naive_w4a8_thread_addresses(num_threads)
+    passes = []
+    for instr_addrs in addrs:
+        # Each thread's 4-byte access touches the bank words of both its
+        # first and last byte (unaligned accesses straddle two words).
+        touched = np.concatenate([instr_addrs, instr_addrs + 3])
+        passes.append(float(bank_conflict_degree(touched)))
+    return LdmatrixPlan(
+        instructions=addrs.shape[0], passes_per_instruction=tuple(passes)
+    )

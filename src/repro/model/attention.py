@@ -1,0 +1,73 @@
+"""Grouped-query causal self-attention with an optional quantized KV cache."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.config import ModelConfig
+from repro.model.kvcache import LayerKVCache
+from repro.model.layers import Linear
+from repro.model.rope import RotaryEmbedding, apply_rope
+from repro.model.tensorops import causal_mask, softmax
+
+__all__ = ["Attention"]
+
+
+class Attention:
+    """One attention block operating on a single sequence ``(seq, d_model)``.
+
+    With a cache, ``forward`` appends this call's keys/values and attends over
+    the full cached history — the standard prefill/decode pattern from paper
+    Figure 1.  Without a cache it attends over the current sequence only.
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        wq: Linear,
+        wk: Linear,
+        wv: Linear,
+        wo: Linear,
+    ):
+        self.config = config
+        self.wq = wq
+        self.wk = wk
+        self.wv = wv
+        self.wo = wo
+
+    def forward(
+        self,
+        x: np.ndarray,
+        rope: RotaryEmbedding,
+        positions: np.ndarray,
+        cache: LayerKVCache | None = None,
+    ) -> np.ndarray:
+        cfg = self.config
+        seq = x.shape[0]
+        hd = cfg.head_dim
+
+        q = self.wq(x).reshape(seq, cfg.n_heads, hd)
+        k = self.wk(x).reshape(seq, cfg.n_kv_heads, hd)
+        v = self.wv(x).reshape(seq, cfg.n_kv_heads, hd)
+
+        q = apply_rope(q, rope, positions)
+        k = apply_rope(k, rope, positions)
+
+        if cache is not None:
+            cache.append(k, v)
+            k_all, v_all = cache.read()
+        else:
+            k_all, v_all = k, v
+
+        if cfg.gqa_group > 1:
+            k_all = np.repeat(k_all, cfg.gqa_group, axis=1)
+            v_all = np.repeat(v_all, cfg.gqa_group, axis=1)
+
+        # (heads, q, kv)
+        scores = np.einsum("qhd,khd->hqk", q, k_all) / np.sqrt(hd)
+        scores = scores + causal_mask(seq, k_all.shape[0])[None, :, :]
+        probs = softmax(scores, axis=-1)
+        context = np.einsum("hqk,khd->qhd", probs, v_all)
+        return self.wo(context.reshape(seq, cfg.n_heads * hd))
+
+    __call__ = forward

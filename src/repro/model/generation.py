@@ -1,0 +1,69 @@
+"""Autoregressive generation utilities (paper Figure 1: prefill + decode)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kvquant import KVQuantConfig
+from repro.model.transformer import Transformer
+from repro.model.tensorops import softmax
+
+__all__ = ["greedy_generate", "sample_generate"]
+
+
+def greedy_generate(
+    model: Transformer,
+    prompt: np.ndarray,
+    max_new_tokens: int,
+    kv_config: KVQuantConfig | None = None,
+) -> np.ndarray:
+    """Greedy decoding with a (possibly quantized) KV cache.
+
+    Args:
+        model: the language model.
+        prompt: int array ``(prompt_len,)``; must be non-empty.
+        max_new_tokens: number of tokens to generate.
+        kv_config: KV cache format (FP16 passthrough by default; pass
+            ``KVQuantConfig()`` for KV4).
+
+    Returns:
+        int array of the ``max_new_tokens`` generated token ids.
+    """
+    prompt = np.asarray(prompt)
+    if prompt.ndim != 1 or prompt.shape[0] == 0:
+        raise ValueError("prompt must be a non-empty 1-D token array")
+    cache = model.new_cache(kv_config)
+    logits = model.forward(prompt, cache)  # prefill
+    generated: list[int] = []
+    next_token = int(np.argmax(logits[-1]))
+    for _ in range(max_new_tokens):
+        generated.append(next_token)
+        logits = model.forward(np.array([next_token]), cache)  # decode step
+        next_token = int(np.argmax(logits[-1]))
+    return np.asarray(generated)
+
+
+def sample_generate(
+    model: Transformer,
+    prompt: np.ndarray,
+    max_new_tokens: int,
+    temperature: float = 1.0,
+    kv_config: KVQuantConfig | None = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Temperature sampling with a (possibly quantized) KV cache."""
+    if temperature <= 0:
+        raise ValueError("temperature must be positive; use greedy_generate")
+    prompt = np.asarray(prompt)
+    if prompt.ndim != 1 or prompt.shape[0] == 0:
+        raise ValueError("prompt must be a non-empty 1-D token array")
+    rng = np.random.default_rng(seed)
+    cache = model.new_cache(kv_config)
+    logits = model.forward(prompt, cache)
+    generated: list[int] = []
+    for _ in range(max_new_tokens):
+        probs = softmax(logits[-1] / temperature)
+        token = int(rng.choice(probs.shape[0], p=probs / probs.sum()))
+        generated.append(token)
+        logits = model.forward(np.array([token]), cache)
+    return np.asarray(generated)

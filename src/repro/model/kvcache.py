@@ -1,0 +1,64 @@
+"""Per-layer and per-model KV cache wrappers.
+
+The attention module reads/writes through these wrappers, so swapping the
+FP16 cache for the KV4 quantized cache (paper Section 3.2) is a pure
+configuration change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kvquant import KVQuantConfig, QuantizedKVCache
+
+__all__ = ["LayerKVCache", "ModelKVCache"]
+
+
+class LayerKVCache:
+    """Quantized (or passthrough-FP16) K and V streams for one layer."""
+
+    def __init__(self, config: KVQuantConfig):
+        self.config = config
+        self.k = QuantizedKVCache(config)
+        self.v = QuantizedKVCache(config)
+
+    def __len__(self) -> int:
+        return len(self.k)
+
+    def append(self, k_tokens: np.ndarray, v_tokens: np.ndarray) -> None:
+        """Append post-RoPE keys and values.
+
+        Args:
+            k_tokens: ``(seq, kv_heads, head_dim)``.
+            v_tokens: same shape as ``k_tokens``.
+        """
+        if k_tokens.shape != v_tokens.shape:
+            raise ValueError("K and V token shapes must match")
+        for t in range(k_tokens.shape[0]):
+            self.k.append(k_tokens[t])
+            self.v.append(v_tokens[t])
+
+    def read(self) -> tuple[np.ndarray, np.ndarray]:
+        """Dequantized ``(K, V)`` each of shape ``(tokens, kv_heads, hd)``."""
+        return self.k.dequantized(), self.v.dequantized()
+
+    def memory_bytes(self) -> float:
+        return self.k.memory_bytes() + self.v.memory_bytes()
+
+
+class ModelKVCache:
+    """One :class:`LayerKVCache` per decoder block."""
+
+    def __init__(self, n_layers: int, config: KVQuantConfig):
+        self.config = config
+        self.layers = [LayerKVCache(config) for _ in range(n_layers)]
+
+    def __len__(self) -> int:
+        """Number of cached tokens (identical across layers)."""
+        return len(self.layers[0]) if self.layers else 0
+
+    def layer(self, index: int) -> LayerKVCache:
+        return self.layers[index]
+
+    def memory_bytes(self) -> float:
+        return sum(layer.memory_bytes() for layer in self.layers)

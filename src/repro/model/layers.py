@@ -1,0 +1,75 @@
+"""Basic transformer layers: Linear and RMSNorm.
+
+``Linear`` is the unit of quantization: FMPQ and every baseline replace
+``Linear`` instances with quantized drop-ins exposing the same ``forward``.
+A *tap* hook supports calibration — when set, the layer reports every input
+it sees so quantizers can gather activation statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.model.tensorops import rms_norm
+
+__all__ = ["Linear", "RMSNorm"]
+
+
+class Linear:
+    """A dense layer ``y = x @ W.T + b`` with an optional calibration tap."""
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: np.ndarray | None = None,
+        name: str = "",
+    ):
+        weight = np.asarray(weight, dtype=np.float32)
+        if weight.ndim != 2:
+            raise ValueError(f"weight must be 2-D, got {weight.shape}")
+        self.weight = weight
+        self.bias = None if bias is None else np.asarray(bias, dtype=np.float32)
+        self.name = name
+        self.tap: Callable[[np.ndarray], None] | None = None
+
+    @property
+    def in_features(self) -> int:
+        return int(self.weight.shape[1])
+
+    @property
+    def out_features(self) -> int:
+        return int(self.weight.shape[0])
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if self.tap is not None:
+            self.tap(x.reshape(-1, self.in_features))
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    __call__ = forward
+
+    def memory_bytes(self) -> int:
+        """FP16 serving footprint."""
+        n = self.weight.size
+        if self.bias is not None:
+            n += self.bias.size
+        return 2 * n
+
+
+class RMSNorm:
+    """RMS normalization with a learned per-channel gain."""
+
+    def __init__(self, gain: np.ndarray, eps: float = 1e-5, name: str = ""):
+        self.gain = np.asarray(gain, dtype=np.float32)
+        self.eps = eps
+        self.name = name
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return rms_norm(x, self.gain, self.eps)
+
+    __call__ = forward

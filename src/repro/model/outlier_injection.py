@@ -1,0 +1,121 @@
+"""Function-preserving activation outlier injection.
+
+The accuracy experiments need a model whose activations exhibit the LLM
+outlier structure of paper Figure 3 — a handful of channels 10-100x larger
+than the rest.  Tiny trained models don't develop emergent outliers, so we
+*plant* them with exact rescaling pairs: a channel is scaled up where an
+activation is produced and the consuming weight column is scaled down by the
+same factor.  The model's function is bit-for-bit unchanged in exact
+arithmetic, but every linear layer now sees outlier-bearing inputs, which is
+precisely the quantization difficulty the paper addresses.
+
+Injection sites (covering all four linear-input tensors in a block):
+
+* attention input  — RMSNorm gain x g, wq/wk/wv columns / g
+* MLP input        — RMSNorm gain x g, w_gate/w_up columns / g
+* w_down input     — w_up row x g, w_down column / g
+* w_o input        — wv row x g, matching w_o columns / g (GQA-aware)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model.layers import Linear
+from repro.model.transformer import Transformer
+
+__all__ = ["OutlierPlan", "inject_outliers"]
+
+
+@dataclass
+class OutlierPlan:
+    """Record of which channels were amplified at each site of each block."""
+
+    gain: float
+    attn_input: list[np.ndarray] = field(default_factory=list)
+    mlp_input: list[np.ndarray] = field(default_factory=list)
+    down_input: list[np.ndarray] = field(default_factory=list)
+    o_input: list[np.ndarray] = field(default_factory=list)
+
+
+def _require_float_linear(linear) -> Linear:
+    if not isinstance(linear, Linear):
+        raise TypeError("outlier injection requires an unquantized model")
+    return linear
+
+
+def inject_outliers(
+    model: Transformer,
+    channels_per_site: int = 2,
+    gain: float = 40.0,
+    seed: int = 0,
+) -> OutlierPlan:
+    """Plant activation outliers in every decoder block, in place.
+
+    Args:
+        model: an unquantized :class:`Transformer`.
+        channels_per_site: outlier channels per injection site per block.
+        gain: amplification factor (paper reports 10-100x outliers).
+        seed: RNG seed choosing the channels.
+
+    Returns:
+        :class:`OutlierPlan` listing the planted channels.
+    """
+    if gain <= 1.0:
+        raise ValueError("gain must exceed 1")
+    cfg = model.config
+    rng = np.random.default_rng(seed)
+    plan = OutlierPlan(gain=gain)
+
+    for block in model.blocks:
+        attn = block.attn
+        mlp = block.mlp
+        wq = _require_float_linear(attn.wq)
+        wk = _require_float_linear(attn.wk)
+        wv = _require_float_linear(attn.wv)
+        wo = _require_float_linear(attn.wo)
+        w_gate = _require_float_linear(mlp.w_gate)
+        w_up = _require_float_linear(mlp.w_up)
+        w_down = _require_float_linear(mlp.w_down)
+
+        # Site 1: attention input channels.
+        ch = rng.choice(cfg.d_model, size=channels_per_site, replace=False)
+        block.attn_norm.gain[ch] *= gain
+        for lin in (wq, wk, wv):
+            lin.weight[:, ch] /= gain
+        plan.attn_input.append(np.sort(ch))
+
+        # Site 2: MLP input channels.
+        ch = rng.choice(cfg.d_model, size=channels_per_site, replace=False)
+        block.mlp_norm.gain[ch] *= gain
+        for lin in (w_gate, w_up):
+            lin.weight[:, ch] /= gain
+        plan.mlp_input.append(np.sort(ch))
+
+        # Site 3: w_down input channels (the SwiGLU product).
+        ch = rng.choice(cfg.d_ffn, size=channels_per_site, replace=False)
+        w_up.weight[ch, :] *= gain
+        w_down.weight[:, ch] /= gain
+        plan.down_input.append(np.sort(ch))
+
+        # Site 4: w_o input channels.  Scaling V-head output (kv head h,
+        # dim j) scales the context channel q*head_dim + j for every query
+        # head q in that GQA group.
+        hd = cfg.head_dim
+        flat = rng.choice(cfg.kv_dim, size=channels_per_site, replace=False)
+        w_o_cols = []
+        for c in flat:
+            kv_head, dim = divmod(int(c), hd)
+            w_v_row = kv_head * hd + dim
+            wv.weight[w_v_row, :] *= gain
+            for q_head in range(
+                kv_head * cfg.gqa_group, (kv_head + 1) * cfg.gqa_group
+            ):
+                col = q_head * hd + dim
+                wo.weight[:, col] /= gain
+                w_o_cols.append(col)
+        plan.o_input.append(np.sort(np.asarray(w_o_cols)))
+
+    return plan

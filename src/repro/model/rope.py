@@ -1,0 +1,68 @@
+"""Rotary positional embeddings (RoPE).
+
+RoPE rotates each consecutive pair of head-dim channels by a
+position-dependent angle.  Besides encoding position, the rotation acts as an
+outlier regularizer on the K cache (paper Section 3.2), which is why KV4
+quantization of K loses so little accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RotaryEmbedding", "apply_rope"]
+
+
+class RotaryEmbedding:
+    """Precomputed cos/sin tables for rotary embeddings.
+
+    Args:
+        head_dim: per-head channel count (must be even).
+        max_seq_len: number of positions to precompute.
+        base: frequency base (10000 in LLaMA).
+    """
+
+    def __init__(self, head_dim: int, max_seq_len: int, base: float = 10000.0):
+        if head_dim % 2 != 0:
+            raise ValueError("head_dim must be even for RoPE")
+        self.head_dim = head_dim
+        self.max_seq_len = max_seq_len
+        inv_freq = base ** (-np.arange(0, head_dim, 2, dtype=np.float64) / head_dim)
+        t = np.arange(max_seq_len, dtype=np.float64)
+        angles = np.outer(t, inv_freq)  # (seq, head_dim/2)
+        self.cos = np.cos(angles).astype(np.float32)
+        self.sin = np.sin(angles).astype(np.float32)
+
+    def tables(self, positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """cos/sin rows for given integer positions."""
+        positions = np.asarray(positions)
+        if positions.max(initial=0) >= self.max_seq_len:
+            raise ValueError(
+                f"position {int(positions.max())} exceeds table length "
+                f"{self.max_seq_len}"
+            )
+        return self.cos[positions], self.sin[positions]
+
+
+def apply_rope(
+    x: np.ndarray, rope: RotaryEmbedding, positions: np.ndarray
+) -> np.ndarray:
+    """Rotate ``x`` of shape ``(..., seq, heads, head_dim)``.
+
+    Args:
+        x: query or key tensor; the sequence axis is third from last.
+        rope: precomputed tables.
+        positions: integer positions of shape ``(seq,)``.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    cos, sin = rope.tables(positions)  # (seq, hd/2)
+    # Broadcast over leading axes and the heads axis.
+    shape = (1,) * (x.ndim - 3) + (cos.shape[0], 1, cos.shape[1])
+    cos = cos.reshape(shape)
+    sin = sin.reshape(shape)
+    x_even = x[..., 0::2]
+    x_odd = x[..., 1::2]
+    out = np.empty_like(x)
+    out[..., 0::2] = x_even * cos - x_odd * sin
+    out[..., 1::2] = x_even * sin + x_odd * cos
+    return out

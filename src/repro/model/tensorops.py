@@ -1,0 +1,79 @@
+"""Numerically careful tensor operations shared by the transformer stack."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "rms_norm",
+    "silu",
+    "swiglu",
+    "cross_entropy",
+    "causal_mask",
+]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float32)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable log-softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def rms_norm(x: np.ndarray, gain: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Root-mean-square layer normalization (LLaMA-style, no bias)."""
+    x = np.asarray(x, dtype=np.float32)
+    rms = np.sqrt(np.mean(x * x, axis=-1, keepdims=True) + eps)
+    return x / rms * gain
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU / swish activation ``x * sigmoid(x)`` with overflow-safe sigmoid."""
+    x = np.asarray(x, dtype=np.float32)
+    # Clip the exponent argument: sigmoid saturates well before +-30.
+    z = np.clip(x, -30.0, 30.0)
+    return x / (1.0 + np.exp(-z))
+
+
+def swiglu(gate: np.ndarray, up: np.ndarray) -> np.ndarray:
+    """The SwiGLU gating ``silu(gate) * up``."""
+    return silu(gate) * up
+
+
+def cross_entropy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Mean token-level cross entropy.
+
+    Args:
+        logits: ``(..., vocab)`` unnormalized scores.
+        targets: integer array matching the leading shape of ``logits``.
+    """
+    logp = log_softmax(logits, axis=-1)
+    flat_logp = logp.reshape(-1, logp.shape[-1])
+    flat_t = np.asarray(targets).reshape(-1)
+    picked = flat_logp[np.arange(flat_t.shape[0]), flat_t]
+    return float(-np.mean(picked))
+
+
+def causal_mask(q_len: int, kv_len: int) -> np.ndarray:
+    """Additive causal mask of shape ``(q_len, kv_len)``.
+
+    Query position ``i`` (aligned to the *end* of the kv sequence) may attend
+    to kv positions ``<= kv_len - q_len + i``.
+    """
+    if kv_len < q_len:
+        raise ValueError("kv_len must be >= q_len")
+    offset = kv_len - q_len
+    q_idx = np.arange(q_len)[:, None]
+    kv_idx = np.arange(kv_len)[None, :]
+    mask = np.where(kv_idx <= q_idx + offset, 0.0, -np.inf)
+    return mask.astype(np.float32)

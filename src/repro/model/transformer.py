@@ -1,0 +1,266 @@
+"""The decoder-only transformer: embedding, decoder blocks, LM head.
+
+The model operates on a single token sequence (batch handling lives in the
+evaluation harnesses and the serving engine, which is where the paper also
+puts it).  Every ``Linear`` can be swapped for a quantized drop-in via
+:meth:`Transformer.replace_linear`, and calibration inputs are gathered with
+:meth:`Transformer.capture_linear_inputs`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.kvquant import KVQuantConfig
+from repro.model.attention import Attention
+from repro.model.config import ModelConfig
+from repro.model.kvcache import ModelKVCache
+from repro.model.layers import Linear, RMSNorm
+from repro.model.rope import RotaryEmbedding
+from repro.model.tensorops import swiglu
+
+__all__ = ["MLP", "DecoderBlock", "Transformer", "init_params"]
+
+
+def init_params(config: ModelConfig, seed: int = 0) -> dict[str, np.ndarray]:
+    """Randomly initialize a parameter dict for :class:`Transformer`.
+
+    Uses scaled-normal initialization with residual projections shrunk by
+    ``1/sqrt(2 * n_layers)`` (GPT-2 style) so depth doesn't blow up the
+    residual stream.
+    """
+    rng = np.random.default_rng(seed)
+    std = 0.02
+    res_std = std / np.sqrt(2.0 * config.n_layers)
+
+    def normal(shape, s=std):
+        return rng.normal(scale=s, size=shape).astype(np.float32)
+
+    params: dict[str, np.ndarray] = {
+        "embed.weight": normal((config.vocab_size, config.d_model)),
+        "final_norm.gain": np.ones(config.d_model, dtype=np.float32),
+        "lm_head.weight": normal((config.vocab_size, config.d_model)),
+    }
+    for i in range(config.n_layers):
+        p = f"layers.{i}"
+        params[f"{p}.attn_norm.gain"] = np.ones(config.d_model, dtype=np.float32)
+        params[f"{p}.mlp_norm.gain"] = np.ones(config.d_model, dtype=np.float32)
+        params[f"{p}.attn.wq.weight"] = normal((config.d_model, config.d_model))
+        params[f"{p}.attn.wk.weight"] = normal((config.kv_dim, config.d_model))
+        params[f"{p}.attn.wv.weight"] = normal((config.kv_dim, config.d_model))
+        params[f"{p}.attn.wo.weight"] = normal((config.d_model, config.d_model), res_std)
+        params[f"{p}.mlp.w_gate.weight"] = normal((config.d_ffn, config.d_model))
+        params[f"{p}.mlp.w_up.weight"] = normal((config.d_ffn, config.d_model))
+        params[f"{p}.mlp.w_down.weight"] = normal((config.d_model, config.d_ffn), res_std)
+    return params
+
+
+class MLP:
+    """SwiGLU feed-forward block."""
+
+    def __init__(self, w_gate: Linear, w_up: Linear, w_down: Linear):
+        self.w_gate = w_gate
+        self.w_up = w_up
+        self.w_down = w_down
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.w_down(swiglu(self.w_gate(x), self.w_up(x)))
+
+    __call__ = forward
+
+
+class DecoderBlock:
+    """Pre-norm decoder block: attention and MLP with residual connections."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        attn_norm: RMSNorm,
+        attn: Attention,
+        mlp_norm: RMSNorm,
+        mlp: MLP,
+    ):
+        self.config = config
+        self.attn_norm = attn_norm
+        self.attn = attn
+        self.mlp_norm = mlp_norm
+        self.mlp = mlp
+
+    def forward(self, x, rope, positions, cache=None):
+        x = x + self.attn.forward(self.attn_norm(x), rope, positions, cache)
+        x = x + self.mlp.forward(self.mlp_norm(x))
+        return x
+
+
+class Transformer:
+    """A from-scratch numpy LLaMA-style causal language model.
+
+    Args:
+        config: architecture.
+        params: optional name->array parameter dict (see
+            :meth:`param_names`); random initialization when omitted.
+        seed: RNG seed for random initialization.
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        params: dict[str, np.ndarray] | None = None,
+        seed: int = 0,
+    ):
+        self.config = config
+        self.rope = RotaryEmbedding(config.head_dim, config.max_seq_len)
+        if params is None:
+            params = init_params(config, seed)
+        self._build(params)
+
+    def _build(self, params: dict[str, np.ndarray]) -> None:
+        cfg = self.config
+        self.embed = np.asarray(params["embed.weight"], dtype=np.float32)
+        self.final_norm = RMSNorm(params["final_norm.gain"], name="final_norm")
+        self.lm_head = Linear(params["lm_head.weight"], name="lm_head")
+        self.blocks: list[DecoderBlock] = []
+        for i in range(cfg.n_layers):
+            p = f"layers.{i}"
+            attn = Attention(
+                cfg,
+                wq=Linear(params[f"{p}.attn.wq.weight"], name=f"{p}.attn.wq"),
+                wk=Linear(params[f"{p}.attn.wk.weight"], name=f"{p}.attn.wk"),
+                wv=Linear(params[f"{p}.attn.wv.weight"], name=f"{p}.attn.wv"),
+                wo=Linear(params[f"{p}.attn.wo.weight"], name=f"{p}.attn.wo"),
+            )
+            mlp = MLP(
+                w_gate=Linear(params[f"{p}.mlp.w_gate.weight"], name=f"{p}.mlp.w_gate"),
+                w_up=Linear(params[f"{p}.mlp.w_up.weight"], name=f"{p}.mlp.w_up"),
+                w_down=Linear(params[f"{p}.mlp.w_down.weight"], name=f"{p}.mlp.w_down"),
+            )
+            self.blocks.append(
+                DecoderBlock(
+                    cfg,
+                    attn_norm=RMSNorm(params[f"{p}.attn_norm.gain"]),
+                    attn=attn,
+                    mlp_norm=RMSNorm(params[f"{p}.mlp_norm.gain"]),
+                    mlp=mlp,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+
+    def forward(
+        self,
+        tokens: np.ndarray,
+        cache: ModelKVCache | None = None,
+    ) -> np.ndarray:
+        """Compute next-token logits for a token sequence.
+
+        Args:
+            tokens: int array ``(seq,)``.  With a cache, positions continue
+                from the number of tokens already cached.
+            cache: optional KV cache shared across calls.
+
+        Returns:
+            float32 logits ``(seq, vocab)``.
+        """
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 1:
+            raise ValueError("forward expects a 1-D token sequence")
+        offset = len(cache) if cache is not None else 0
+        positions = np.arange(offset, offset + tokens.shape[0])
+        x = self.embed[tokens]
+        for i, block in enumerate(self.blocks):
+            layer_cache = cache.layer(i) if cache is not None else None
+            x = block.forward(x, self.rope, positions, layer_cache)
+        return self.lm_head(self.final_norm(x))
+
+    __call__ = forward
+
+    def new_cache(self, kv_config: KVQuantConfig | None = None) -> ModelKVCache:
+        """Create an empty KV cache (FP16 passthrough when no config given)."""
+        config = kv_config or KVQuantConfig(enabled=False)
+        return ModelKVCache(self.config.n_layers, config)
+
+    # ------------------------------------------------------------------
+    # Parameter and layer plumbing
+    # ------------------------------------------------------------------
+
+    def named_linears(self) -> dict[str, Linear]:
+        """All quantizable linears, keyed by their parameter-path name.
+
+        The LM head is excluded: like the paper (and every PTQ baseline), the
+        output projection stays in high precision.
+        """
+        out: dict[str, Linear] = {}
+        for i, block in enumerate(self.blocks):
+            p = f"layers.{i}"
+            out[f"{p}.attn.wq"] = block.attn.wq
+            out[f"{p}.attn.wk"] = block.attn.wk
+            out[f"{p}.attn.wv"] = block.attn.wv
+            out[f"{p}.attn.wo"] = block.attn.wo
+            out[f"{p}.mlp.w_gate"] = block.mlp.w_gate
+            out[f"{p}.mlp.w_up"] = block.mlp.w_up
+            out[f"{p}.mlp.w_down"] = block.mlp.w_down
+        return out
+
+    def replace_linear(self, name: str, new_layer) -> None:
+        """Swap a linear (by :meth:`named_linears` key) for a quantized one."""
+        parts = name.split(".")
+        if len(parts) != 4 or parts[0] != "layers":
+            raise KeyError(f"unknown linear {name!r}")
+        block = self.blocks[int(parts[1])]
+        owner = block.attn if parts[2] == "attn" else block.mlp
+        if not hasattr(owner, parts[3]):
+            raise KeyError(f"unknown linear {name!r}")
+        setattr(owner, parts[3], new_layer)
+
+    @contextmanager
+    def capture_linear_inputs(self) -> Iterator[dict[str, list[np.ndarray]]]:
+        """Context manager recording every input seen by every linear.
+
+        Yields a dict ``name -> list of (tokens, in_features) arrays``; the
+        taps are removed on exit.
+        """
+        store: dict[str, list[np.ndarray]] = {}
+        linears = self.named_linears()
+        for name, linear in linears.items():
+            store[name] = []
+            linear.tap = store[name].append
+        try:
+            yield store
+        finally:
+            for linear in linears.values():
+                linear.tap = None
+
+    def get_params(self) -> dict[str, np.ndarray]:
+        """Export parameters as a flat dict (float linears only)."""
+        params = {
+            "embed.weight": self.embed,
+            "final_norm.gain": self.final_norm.gain,
+            "lm_head.weight": self.lm_head.weight,
+        }
+        for i, block in enumerate(self.blocks):
+            p = f"layers.{i}"
+            params[f"{p}.attn_norm.gain"] = block.attn_norm.gain
+            params[f"{p}.mlp_norm.gain"] = block.mlp_norm.gain
+            for key, linear in (
+                ("attn.wq", block.attn.wq),
+                ("attn.wk", block.attn.wk),
+                ("attn.wv", block.attn.wv),
+                ("attn.wo", block.attn.wo),
+                ("mlp.w_gate", block.mlp.w_gate),
+                ("mlp.w_up", block.mlp.w_up),
+                ("mlp.w_down", block.mlp.w_down),
+            ):
+                if not isinstance(linear, Linear):
+                    raise TypeError(
+                        "cannot export params from a quantized model"
+                    )
+                params[f"{p}.{key}.weight"] = linear.weight
+        return params
+
+    def param_count(self) -> int:
+        return sum(int(np.prod(v.shape)) for v in self.get_params().values())

@@ -1,0 +1,487 @@
+"""The COMET serving engine simulator: continuous batching over the GPU
+timing model (paper Sections 5 and 6.4).
+
+The engine plays the standard prefill/decode loop of an LLM server against
+the kernel cost models:
+
+* every admitted request is prefilled (one GEMM pass at ``m = prompt_len``
+  per layer stack plus quadratic attention);
+* each engine step decodes one token for every running sequence (GEMM at
+  ``m = batch``) and streams the whole KV history through the attention
+  roofline;
+* admission is bounded by the paged-KV pool — reserving each request's full
+  sequence so decoding never deadlocks — and by ``max_batch``.
+
+Because the three knobs a :class:`ServingSystem` sets (kernel, weight bytes,
+KV format) all enter this loop, the Figure 10/11/12/15 comparisons fall out
+of one engine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.gpu.spec import A100_80G_SXM4, GPUSpec
+from repro.kernels.attention import DECODE_ATTENTION, PREFILL_ATTENTION
+from repro.kernels.tiling import GEMMShape
+from repro.model.config import ModelConfig
+from repro.serving.memory_planner import DEFAULT_HBM_BYTES, MemoryPlan, plan_memory
+from repro.serving.paged_kv import PagedKVManager
+from repro.serving.request import Phase, Request
+from repro.serving.systems import ServingSystem
+
+__all__ = ["EngineConfig", "ThroughputReport", "ServingEngine"]
+
+#: Per-step framework overhead: scheduler, sampling, python/driver time.
+DEFAULT_STEP_OVERHEAD = 100e-6
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine knobs.
+
+    Attributes:
+        max_batch: concurrent-sequence cap.
+        block_tokens: paged-KV block granularity.
+        hbm_bytes: usable device memory.
+        step_overhead: per-iteration framework overhead.
+        max_steps: safety cap on engine iterations.
+        decode_attention: 'flash' (Flash-Decoding) or 'naive' — the paper's
+            Section 7 attention-kernel axis.
+        prefill_attention: 'flash' (FlashAttention) or 'naive'.
+    """
+
+    max_batch: int = 512
+    block_tokens: int = 16
+    hbm_bytes: float = DEFAULT_HBM_BYTES
+    step_overhead: float = DEFAULT_STEP_OVERHEAD
+    max_steps: int = 1_000_000
+    decode_attention: str = "flash"
+    prefill_attention: str = "flash"
+    reserve_full_sequence: bool = True
+    #: When set, prompts prefill in chunks of this many tokens piggybacked
+    #: onto decode iterations (Sarathi-style stall-free batching, one of
+    #: the Section 7 scheduling integrations); None = whole-prompt prefill.
+    prefill_chunk_tokens: int | None = None
+    #: Megatron-style tensor parallelism across this many identical GPUs
+    #: (1 = the paper's single-GPU setting).
+    tensor_parallel: int = 1
+
+    def __post_init__(self) -> None:
+        if self.decode_attention not in DECODE_ATTENTION:
+            raise ValueError(
+                f"unknown decode_attention {self.decode_attention!r}; "
+                f"known: {sorted(DECODE_ATTENTION)}"
+            )
+        if self.prefill_attention not in PREFILL_ATTENTION:
+            raise ValueError(
+                f"unknown prefill_attention {self.prefill_attention!r}; "
+                f"known: {sorted(PREFILL_ATTENTION)}"
+            )
+        if self.prefill_chunk_tokens is not None and self.prefill_chunk_tokens <= 0:
+            raise ValueError("prefill_chunk_tokens must be positive or None")
+        if self.tensor_parallel < 1:
+            raise ValueError("tensor_parallel must be >= 1")
+
+
+@dataclass
+class ThroughputReport:
+    """Outcome of a simulated serving run."""
+
+    system: str
+    model: str
+    requests_completed: int
+    output_tokens: int
+    sim_seconds: float
+    prefill_seconds: float
+    decode_seconds: float
+    peak_batch: int
+    kv_token_capacity: int
+    gemm_seconds: float = 0.0
+    attention_seconds: float = 0.0
+    overhead_seconds: float = 0.0
+    preemptions: int = 0
+    #: Longest wall-clock gap between consecutive decode iterations — the
+    #: stall a running user experiences when another request prefills.
+    max_decode_gap: float = 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Output tokens per second — the paper's headline metric."""
+        if self.sim_seconds <= 0:
+            return 0.0
+        return self.output_tokens / self.sim_seconds
+
+    def runtime_breakdown(self) -> dict[str, float]:
+        """Fractions of runtime in GEMM / attention / framework overhead —
+        the paper's Section 7 accounting (~65% GEMM, ~32% attention)."""
+        total = self.gemm_seconds + self.attention_seconds + self.overhead_seconds
+        if total <= 0:
+            return {"gemm": 0.0, "attention": 0.0, "overhead": 0.0}
+        return {
+            "gemm": self.gemm_seconds / total,
+            "attention": self.attention_seconds / total,
+            "overhead": self.overhead_seconds / total,
+        }
+
+
+class ServingEngine:
+    """Continuous-batching engine over the GPU timing simulator."""
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        system: ServingSystem,
+        spec: GPUSpec = A100_80G_SXM4,
+        config: EngineConfig | None = None,
+    ):
+        self.model = model
+        self.system = system
+        self.spec = spec
+        self.config = config or EngineConfig()
+        self._tp_stack = None
+        if self.config.tensor_parallel > 1:
+            from repro.serving.parallel import TPConfig, TPStackModel
+
+            tp = TPConfig(degree=self.config.tensor_parallel)
+            self._tp_stack = TPStackModel(model, system.kernel, tp)
+            # Aggregate memory across the TP group: each GPU holds its
+            # weight shard (embeddings replicated) and a KV shard.
+            degree = tp.degree
+            weight_agg = self._tp_stack.weight_bytes_per_gpu(
+                system.weight_bytes_per_param
+            ) * degree
+            workspace = self.config.hbm_bytes * degree * 0.05
+            kv_pool = self.config.hbm_bytes * degree - weight_agg - workspace
+            self.plan = MemoryPlan(
+                model=model.name,
+                system=system.name,
+                hbm_bytes=self.config.hbm_bytes * degree,
+                weight_bytes=weight_agg,
+                workspace_bytes=workspace,
+                kv_pool_bytes=max(kv_pool, 0.0),
+                kv_bytes_per_token=model.kv_values_per_token()
+                * system.kv_bytes_per_value,
+            )
+        else:
+            self.plan = plan_memory(model, system, self.config.hbm_bytes)
+        if not self.plan.fits:
+            raise ValueError(
+                f"{model.name} weights ({self.plan.weight_bytes / 1e9:.1f} GB as "
+                f"{system.name}) do not fit in {self.config.hbm_bytes / 1e9:.0f} GB"
+            )
+        self.kv = PagedKVManager(
+            self.plan.kv_pool_bytes,
+            self.plan.kv_bytes_per_token,
+            self.config.block_tokens,
+        )
+        self.decode_attention = DECODE_ATTENTION[self.config.decode_attention](spec)
+        self.prefill_attention = PREFILL_ATTENTION[self.config.prefill_attention](spec)
+        self._stack_latency_cache: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Step-time model
+    # ------------------------------------------------------------------
+
+    def linear_stack_latency(self, m: int) -> float:
+        """GEMM time of all linear layers for one forward pass at ``m``
+        tokens (cached per m); includes TP collectives when sharded."""
+        if self._tp_stack is not None:
+            return self._tp_stack.stack_latency(m)
+        cached = self._stack_latency_cache.get(m)
+        if cached is not None:
+            return cached
+        per_block = 0.0
+        for n, k in self.model.linear_shapes().values():
+            per_block += self.system.kernel.latency(GEMMShape(m, n, k)).seconds
+        total = per_block * self.model.n_layers
+        self._stack_latency_cache[m] = total
+        return total
+
+    @property
+    def _kv_bytes_per_token_per_gpu(self) -> float:
+        """KV bytes streamed per token by one GPU (heads shard under TP)."""
+        return self.plan.kv_bytes_per_token / self.config.tensor_parallel
+
+    def decode_attention_time(self, context_tokens: int, batch: int) -> float:
+        """Attention cost of one decode step (Figure 2's memory-bound
+        activation-activation operator, under the configured kernel) plus
+        the per-layer elementwise traffic."""
+        attn = self.decode_attention.latency(
+            batch=batch,
+            context_tokens=context_tokens,
+            kv_bytes_per_token=self._kv_bytes_per_token_per_gpu,
+            d_model=self.model.d_model,
+            n_layers=self.model.n_layers,
+            n_kv_heads=self.model.n_kv_heads,
+        )
+        elementwise = (
+            batch * self.model.d_model * self.model.n_layers * 20 * 2
+        ) / self.spec.hbm_bandwidth
+        return attn + elementwise
+
+    def prefill_attention_time(self, prompt_len: int) -> float:
+        """Attention cost of one request's prefill, incl. the KV write."""
+        attn = self.prefill_attention.latency(
+            prompt_len, self.model.d_model, self.model.n_layers
+        )
+        kv_write = (
+            prompt_len
+            * self._kv_bytes_per_token_per_gpu
+            / self.spec.hbm_bandwidth
+        )
+        return attn + kv_write
+
+    def _chunk_attention_time(self, chunk: int, progress: int) -> float:
+        """Attention cost of one prefill chunk attending to its history."""
+        # chunk queries attend to ~(progress + chunk/2) keys on average.
+        keys = progress + chunk / 2.0
+        flops = 2.0 * chunk * keys * self.model.d_model * 2.0
+        compute = flops * self.model.n_layers / self.spec.tc_tput("fp16")
+        history_read = progress * self._kv_bytes_per_token_per_gpu
+        kv_write = chunk * self._kv_bytes_per_token_per_gpu
+        return compute + (history_read + kv_write) / self.spec.hbm_bandwidth
+
+    def prefill_time(self, prompt_len: int) -> float:
+        """Full prefill cost of one request."""
+        return (
+            self.linear_stack_latency(prompt_len)
+            + self.prefill_attention_time(prompt_len)
+            + self.config.step_overhead
+        )
+
+    def decode_step_time(self, batch: int, context_tokens: int) -> float:
+        """One engine iteration decoding ``batch`` tokens."""
+        return (
+            self.linear_stack_latency(batch)
+            + self.decode_attention_time(context_tokens, batch)
+            + self.config.step_overhead
+        )
+
+    # ------------------------------------------------------------------
+    # Serving loop
+    # ------------------------------------------------------------------
+
+    def run(self, requests: list[Request], tracer=None) -> ThroughputReport:
+        """Serve a request list to completion and report throughput.
+
+        Pass an :class:`repro.serving.trace.EngineTracer` as ``tracer`` to
+        record a per-iteration timeline.
+
+        Requests with nonzero ``arrival_time`` form a trace: the clock fast-
+        forwards over idle gaps and admission only considers arrived
+        requests.  Two memory disciplines are supported:
+
+        * ``reserve_full_sequence=True`` (default): admission reserves each
+          request's full sequence, so decoding never runs out of KV blocks
+          — the deterministic max-batch setting of the paper's evaluation;
+        * ``reserve_full_sequence=False``: admission is optimistic (prompt
+          only) and the engine preempts the most recently admitted sequence
+          (recompute-style, as in vLLM) when the pool runs dry.
+        """
+        stale = [r.request_id for r in requests if r.phase is not Phase.WAITING]
+        if stale:
+            raise ValueError(
+                f"requests {stale} were already served; engine runs require "
+                "fresh Request objects"
+            )
+        waiting = deque(
+            sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+        )
+        running: list[Request] = []
+        committed_tokens = 0
+        capacity = int(self.kv.token_capacity * 0.98)  # block-rounding slack
+        clock = 0.0
+        prefill_s = 0.0
+        decode_s = 0.0
+        gemm_s = 0.0
+        attn_s = 0.0
+        overhead_s = 0.0
+        peak_batch = 0
+        completed = 0
+        output_tokens = 0
+        preemptions = 0
+        chunking = self.config.prefill_chunk_tokens
+        last_decode_clock: float | None = None
+        max_decode_gap = 0.0
+
+        for _ in range(self.config.max_steps):
+            if not running and waiting and waiting[0].arrival_time > clock:
+                clock = waiting[0].arrival_time  # idle until next arrival
+
+            # Admission.
+            while (
+                waiting
+                and len(running) < self.config.max_batch
+                and waiting[0].arrival_time <= clock
+            ):
+                req = waiting[0]
+                if not self._admit(req, committed_tokens, capacity):
+                    break
+                waiting.popleft()
+                committed_tokens += req.total_len
+                req.phase = Phase.PREFILL
+                if chunking is None:
+                    # Whole-prompt prefill, serialized before decoding.
+                    dt = self.prefill_time(req.prompt_len)
+                    if tracer is not None:
+                        tracer.record(
+                            start=clock, duration=dt, kind="prefill",
+                            batch=1, decode_tokens=0,
+                            prefill_tokens=req.prompt_len,
+                            context_tokens=req.prompt_len,
+                        )
+                    clock += dt
+                    prefill_s += dt
+                    gemm_s += self.linear_stack_latency(req.prompt_len)
+                    attn_s += self.prefill_attention_time(req.prompt_len)
+                    overhead_s += self.config.step_overhead
+                    req.prefill_progress = req.prompt_len
+                    req.phase = Phase.DECODE
+                running.append(req)
+
+            if not running:
+                if not waiting:
+                    break
+                if waiting[0].arrival_time > clock:
+                    continue  # fast-forward next iteration
+                raise RuntimeError(
+                    "scheduler stall: KV pool too small for "
+                    f"{waiting[0].total_len}-token requests"
+                )
+
+            peak_batch = max(peak_batch, len(running))
+            decode_reqs = [r for r in running if r.phase is Phase.DECODE]
+            prefill_req = next(
+                (r for r in running if r.phase is Phase.PREFILL), None
+            )
+            chunk = 0
+            if prefill_req is not None:
+                chunk = min(
+                    chunking, prefill_req.prompt_len - prefill_req.prefill_progress
+                )
+
+            # One continuous-batching iteration: decode tokens plus (when
+            # chunking) one prompt chunk share the same GEMM pass.
+            m = len(decode_reqs) + chunk
+            gemm = self.linear_stack_latency(m)
+            attn = 0.0
+            if decode_reqs:
+                context = sum(r.context_len for r in decode_reqs)
+                attn += self.decode_attention_time(context, len(decode_reqs))
+            if chunk:
+                attn += self._chunk_attention_time(
+                    chunk, prefill_req.prefill_progress
+                )
+            dt = gemm + attn + self.config.step_overhead
+            if tracer is not None:
+                if decode_reqs and chunk:
+                    kind = "mixed"
+                elif decode_reqs:
+                    kind = "decode"
+                else:
+                    kind = "prefill"
+                tracer.record(
+                    start=clock, duration=dt, kind=kind,
+                    batch=len(running), decode_tokens=len(decode_reqs),
+                    prefill_tokens=chunk,
+                    context_tokens=sum(r.context_len for r in running),
+                )
+            clock += dt
+            gemm_s += gemm
+            attn_s += attn
+            overhead_s += self.config.step_overhead
+            if decode_reqs:
+                decode_s += dt
+                if last_decode_clock is not None:
+                    max_decode_gap = max(max_decode_gap, clock - last_decode_clock)
+                last_decode_clock = clock
+            else:
+                prefill_s += dt
+
+            if chunk:
+                prefill_req.prefill_progress += chunk
+                if prefill_req.prefill_progress >= prefill_req.prompt_len:
+                    prefill_req.phase = Phase.DECODE
+
+            still_running: list[Request] = []
+            for req in running:
+                if req.phase is Phase.PREFILL or (
+                    req is prefill_req and chunk
+                ):
+                    # Still prefilling, or finished its last chunk this
+                    # step (first decode happens next iteration).
+                    still_running.append(req)
+                    continue
+                if req.phase is not Phase.DECODE:
+                    continue  # preempted earlier in this step
+                while not self.kv.append_token(req.request_id):
+                    victim = self._pick_victim(running, req)
+                    if victim is None:
+                        raise RuntimeError(
+                            "KV pool exhausted with nothing to preempt; "
+                            "use reserve_full_sequence=True or shrink "
+                            "max_batch"
+                        )
+                    output_tokens -= victim.preempt()
+                    preemptions += 1
+                    self.kv.free(victim.request_id)
+                    committed_tokens -= victim.total_len
+                    waiting.appendleft(victim)
+                req.advance()
+                output_tokens += 1
+                if req.generated == 1:
+                    req.first_token_time = clock
+                if req.phase is Phase.FINISHED:
+                    req.finish_time = clock
+                    self.kv.free(req.request_id)
+                    committed_tokens -= req.total_len
+                    completed += 1
+                else:
+                    still_running.append(req)
+            # A victim processed earlier in this step may linger in
+            # still_running with phase WAITING; drop it (it is queued).
+            running = [
+                r for r in still_running
+                if r.phase in (Phase.DECODE, Phase.PREFILL)
+            ]
+        else:
+            raise RuntimeError("max_steps exceeded; raise EngineConfig.max_steps")
+
+        return ThroughputReport(
+            system=self.system.name,
+            model=self.model.name,
+            requests_completed=completed,
+            output_tokens=output_tokens,
+            sim_seconds=clock,
+            prefill_seconds=prefill_s,
+            decode_seconds=decode_s,
+            peak_batch=peak_batch,
+            kv_token_capacity=self.kv.token_capacity,
+            gemm_seconds=gemm_s,
+            attention_seconds=attn_s,
+            overhead_seconds=overhead_s,
+            preemptions=preemptions,
+            max_decode_gap=max_decode_gap,
+        )
+
+    def _admit(self, req: Request, committed_tokens: int, capacity: int) -> bool:
+        """Try to allocate a request's KV under the configured discipline."""
+        if self.config.reserve_full_sequence:
+            if committed_tokens + req.total_len > capacity:
+                return False
+            return self.kv.allocate(req.request_id, req.prompt_len)
+        # Optimistic: prompt plus one growth block of headroom.
+        headroom = self.kv.block_tokens
+        if not self.kv.can_allocate(req.prompt_len + headroom):
+            return False
+        return self.kv.allocate(req.request_id, req.prompt_len)
+
+    @staticmethod
+    def _pick_victim(running: list[Request], current: Request) -> Request | None:
+        """Most recently admitted decodable request other than ``current``."""
+        for candidate in reversed(running):
+            if candidate is not current and candidate.phase is Phase.DECODE:
+                return candidate
+        return None

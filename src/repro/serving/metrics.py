@@ -1,0 +1,72 @@
+"""Serving latency metrics: TTFT, TPOT, end-to-end latency percentiles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serving.request import Phase, Request
+
+__all__ = ["LatencyReport"]
+
+
+def _percentile(values: np.ndarray, q: float) -> float:
+    return float(np.percentile(values, q)) if values.size else 0.0
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Per-request latency statistics over a finished trace.
+
+    Attributes:
+        ttft_*: time to first token (prefill completion - arrival).
+        tpot_*: time per output token during decode.
+        e2e_*: full request latency.
+    """
+
+    num_requests: int
+    ttft_mean: float
+    ttft_p50: float
+    ttft_p95: float
+    tpot_mean: float
+    tpot_p50: float
+    tpot_p95: float
+    e2e_mean: float
+    e2e_p50: float
+    e2e_p95: float
+
+    @classmethod
+    def from_requests(cls, requests: list[Request]) -> "LatencyReport":
+        """Compute metrics from finished requests (others are skipped)."""
+        done = [r for r in requests if r.phase is Phase.FINISHED]
+        if not done:
+            raise ValueError("no finished requests to report on")
+        ttft = np.array([r.first_token_time - r.arrival_time for r in done])
+        e2e = np.array([r.finish_time - r.arrival_time for r in done])
+        tpot = np.array(
+            [
+                (r.finish_time - r.first_token_time) / max(r.generated - 1, 1)
+                for r in done
+            ]
+        )
+        return cls(
+            num_requests=len(done),
+            ttft_mean=float(ttft.mean()),
+            ttft_p50=_percentile(ttft, 50),
+            ttft_p95=_percentile(ttft, 95),
+            tpot_mean=float(tpot.mean()),
+            tpot_p50=_percentile(tpot, 50),
+            tpot_p95=_percentile(tpot, 95),
+            e2e_mean=float(e2e.mean()),
+            e2e_p50=_percentile(e2e, 50),
+            e2e_p95=_percentile(e2e, 95),
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.num_requests} requests | "
+            f"TTFT p50/p95 {self.ttft_p50 * 1e3:.1f}/{self.ttft_p95 * 1e3:.1f} ms | "
+            f"TPOT p50/p95 {self.tpot_p50 * 1e3:.1f}/{self.tpot_p95 * 1e3:.1f} ms | "
+            f"e2e p50/p95 {self.e2e_p50:.2f}/{self.e2e_p95:.2f} s"
+        )

@@ -1,0 +1,169 @@
+"""Deployment planner: pick a serving configuration for a workload.
+
+Given a model, a GPU budget, and a workload shape, the planner enumerates
+(system, tensor-parallel degree, batch cap) candidates on the simulator and
+recommends the feasible configuration with the best throughput — optionally
+subject to a TTFT ceiling.  This is the "which config do I deploy?" tool an
+operations team wants on top of the paper's raw results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.spec import A100_80G_SXM4, GPUSpec
+from repro.model.config import ModelConfig
+from repro.serving.engine import EngineConfig, ServingEngine
+from repro.serving.metrics import LatencyReport
+from repro.serving.request import make_batch_requests
+from repro.serving.systems import build_system
+
+__all__ = ["PlanCandidate", "DeploymentPlan", "plan_deployment"]
+
+_DEFAULT_SYSTEMS = ("trtllm-fp16", "trtllm-w4a16", "trtllm-w8a8", "qserve", "comet")
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One evaluated deployment configuration."""
+
+    system: str
+    tensor_parallel: int
+    batch: int
+    throughput: float
+    ttft_p95: float
+    weight_gb: float
+    kv_pool_gb: float
+    feasible: bool
+    rejected_reason: str = ""
+
+
+@dataclass
+class DeploymentPlan:
+    """Planner output: the recommendation plus every candidate evaluated."""
+
+    best: PlanCandidate | None
+    candidates: list[PlanCandidate] = field(default_factory=list)
+
+    def summary(self) -> str:
+        if self.best is None:
+            return "no feasible configuration found"
+        b = self.best
+        return (
+            f"deploy {b.system} TP={b.tensor_parallel} batch<={b.batch}: "
+            f"{b.throughput:.0f} tok/s, TTFT p95 {b.ttft_p95 * 1e3:.0f} ms"
+        )
+
+
+def plan_deployment(
+    model: ModelConfig,
+    prompt_len: int,
+    out_len: int,
+    num_gpus: int = 1,
+    spec: GPUSpec = A100_80G_SXM4,
+    systems: tuple[str, ...] = _DEFAULT_SYSTEMS,
+    max_batch: int = 256,
+    ttft_p95_ceiling: float | None = None,
+    probe_requests: int | None = None,
+) -> DeploymentPlan:
+    """Evaluate deployment candidates and recommend the best.
+
+    Args:
+        model: model architecture.
+        prompt_len / out_len: workload shape.
+        num_gpus: GPUs available; TP degrees dividing this (and the model's
+            kv-head count) are considered.
+        systems: serving-system presets to consider.
+        max_batch: upper bound on the batch cap.
+        ttft_p95_ceiling: optional latency SLO in seconds; candidates over
+            it are rejected.
+        probe_requests: request count per evaluation (default: one full
+            feasible batch).
+
+    Returns:
+        :class:`DeploymentPlan` with the best candidate (or None).
+    """
+    if prompt_len < 1 or out_len < 1:
+        raise ValueError("prompt_len and out_len must be positive")
+    if num_gpus < 1:
+        raise ValueError("num_gpus must be >= 1")
+    degrees = [
+        d
+        for d in (1, 2, 4, 8)
+        if d <= num_gpus
+        and num_gpus % d == 0
+        and model.n_kv_heads % d == 0
+        and model.d_ffn % d == 0
+    ]
+    candidates: list[PlanCandidate] = []
+    for system_name in systems:
+        for degree in degrees:
+            cand = _evaluate(
+                model, system_name, degree, prompt_len, out_len,
+                spec, max_batch, ttft_p95_ceiling, probe_requests,
+            )
+            candidates.append(cand)
+    feasible = [c for c in candidates if c.feasible]
+    best = max(feasible, key=lambda c: c.throughput) if feasible else None
+    return DeploymentPlan(best=best, candidates=candidates)
+
+
+def _evaluate(
+    model, system_name, degree, prompt_len, out_len, spec, max_batch,
+    ttft_ceiling, probe_requests,
+) -> PlanCandidate:
+    try:
+        engine = ServingEngine(
+            model,
+            build_system(system_name, spec),
+            spec=spec,
+            config=EngineConfig(max_batch=max_batch, tensor_parallel=degree),
+        )
+    except ValueError:
+        return PlanCandidate(
+            system=system_name,
+            tensor_parallel=degree,
+            batch=0,
+            throughput=0.0,
+            ttft_p95=float("inf"),
+            weight_gb=0.0,
+            kv_pool_gb=0.0,
+            feasible=False,
+            rejected_reason="weights do not fit",
+        )
+    batch = min(max(engine.plan.max_batch(prompt_len + out_len), 0), max_batch)
+    if batch == 0:
+        return PlanCandidate(
+            system=system_name,
+            tensor_parallel=degree,
+            batch=0,
+            throughput=0.0,
+            ttft_p95=float("inf"),
+            weight_gb=engine.plan.weight_bytes / 1e9,
+            kv_pool_gb=engine.plan.kv_pool_bytes / 1e9,
+            feasible=False,
+            rejected_reason="KV pool cannot hold one sequence",
+        )
+    n = probe_requests or batch
+    requests = make_batch_requests(n, prompt_len, out_len)
+    report = engine.run(requests)
+    latency = LatencyReport.from_requests(requests)
+    feasible = True
+    reason = ""
+    if ttft_ceiling is not None and latency.ttft_p95 > ttft_ceiling:
+        feasible = False
+        reason = (
+            f"TTFT p95 {latency.ttft_p95 * 1e3:.0f} ms over the "
+            f"{ttft_ceiling * 1e3:.0f} ms ceiling"
+        )
+    return PlanCandidate(
+        system=system_name,
+        tensor_parallel=degree,
+        batch=batch,
+        throughput=report.throughput,
+        ttft_p95=latency.ttft_p95,
+        weight_gb=engine.plan.weight_bytes / 1e9,
+        kv_pool_gb=engine.plan.kv_pool_bytes / 1e9,
+        feasible=feasible,
+        rejected_reason=reason,
+    )

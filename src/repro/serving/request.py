@@ -1,0 +1,92 @@
+"""Serving request model (paper Figure 1: prefill then decode)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["Phase", "Request", "make_batch_requests"]
+
+
+class Phase(Enum):
+    WAITING = "waiting"
+    PREFILL = "prefill"
+    DECODE = "decode"
+    FINISHED = "finished"
+
+
+@dataclass
+class Request:
+    """One generation request.
+
+    Attributes:
+        request_id: unique id.
+        prompt_len: input sequence length.
+        max_new_tokens: output budget; the request finishes when reached.
+        arrival_time: simulated arrival timestamp.
+    """
+
+    request_id: int
+    prompt_len: int
+    max_new_tokens: int
+    arrival_time: float = 0.0
+    generated: int = field(default=0, init=False)
+    phase: Phase = field(default=Phase.WAITING, init=False)
+    prefill_progress: int = field(default=0, init=False)
+    first_token_time: float = field(default=0.0, init=False)
+    finish_time: float = field(default=0.0, init=False)
+    preemptions: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.prompt_len < 1:
+            raise ValueError("prompt_len must be positive")
+        if self.max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be positive")
+
+    @property
+    def context_len(self) -> int:
+        """Tokens currently in the KV cache."""
+        if self.phase is Phase.WAITING:
+            return 0
+        if self.phase is Phase.PREFILL:
+            return self.prefill_progress
+        return self.prompt_len + self.generated
+
+    @property
+    def total_len(self) -> int:
+        return self.prompt_len + self.max_new_tokens
+
+    def advance(self) -> None:
+        """Record one decoded token."""
+        if self.phase is not Phase.DECODE:
+            raise RuntimeError(f"cannot decode in phase {self.phase}")
+        self.generated += 1
+        if self.generated >= self.max_new_tokens:
+            self.phase = Phase.FINISHED
+
+    def preempt(self) -> int:
+        """Evict the request (recompute-style): all generated tokens are
+        discarded and the request re-enters the waiting queue.
+
+        Returns:
+            the number of discarded tokens.
+        """
+        if self.phase is not Phase.DECODE:
+            raise RuntimeError(f"cannot preempt in phase {self.phase}")
+        lost = self.generated
+        self.generated = 0
+        self.prefill_progress = 0
+        self.phase = Phase.WAITING
+        self.preemptions += 1
+        return lost
+
+
+def make_batch_requests(
+    num_requests: int, prompt_len: int, max_new_tokens: int
+) -> list[Request]:
+    """A homogeneous request batch — the paper's evaluation workload
+    (e.g. input/output 1024/512 or 128/128)."""
+    return [
+        Request(request_id=i, prompt_len=prompt_len, max_new_tokens=max_new_tokens)
+        for i in range(num_requests)
+    ]

@@ -1,0 +1,98 @@
+"""Serving-system presets: COMET, TensorRT-LLM configs, and QServe.
+
+A :class:`ServingSystem` bundles the three precision decisions that drive
+end-to-end throughput (paper Section 6.4):
+
+* the **GEMM kernel** executing every linear layer;
+* the **weight storage** bytes per parameter (sets how much of the 80 GB is
+  left for KV cache);
+* the **KV cache format** (sets attention read traffic *and* the feasible
+  batch size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.kvquant import KVQuantConfig
+from repro.gpu.spec import A100_80G_SXM4, GPUSpec
+from repro.kernels.base import GEMMKernel
+from repro.kernels.baselines import CuBLASW16A16, QServeW4A8, TRTLLMW4A16, TRTLLMW8A8
+from repro.kernels.w4ax import W4AxKernel
+
+__all__ = ["ServingSystem", "build_system", "SYSTEM_NAMES"]
+
+#: INT4 weights carry one FP16 scale per 128-group: 0.5 + 2/128 bytes.
+_INT4_BYTES = 0.5 + 2.0 / 128
+_INT8_BYTES = 1.0 + 2.0 / 128
+_FP16_BYTES = 2.0
+
+
+@dataclass(frozen=True)
+class ServingSystem:
+    """One end-to-end serving configuration."""
+
+    name: str
+    kernel: GEMMKernel
+    weight_bytes_per_param: float
+    kv_config: KVQuantConfig = field(default_factory=lambda: KVQuantConfig(enabled=False))
+
+    @property
+    def kv_bytes_per_value(self) -> float:
+        return self.kv_config.bytes_per_value
+
+
+def build_system(name: str, spec: GPUSpec = A100_80G_SXM4) -> ServingSystem:
+    """Instantiate a serving system preset by name.
+
+    Presets (paper Section 6.4 and Figure 15):
+        trtllm-fp16     — FP16 weights, FP16 KV, cuBLAS GEMM.
+        trtllm-w4a16    — INT4 weights, FP16 KV, weight-only kernel.
+        trtllm-w8a8     — INT8 weights+acts, FP16 KV.
+        qserve          — W4A8KV4 (QoQ).
+        comet           — full COMET: W4Ax kernel + KV4.
+        comet-w4ax      — ablation: W4Ax kernel, FP16 KV.
+        comet-kv4       — ablation: weight-only W4A16 kernel + KV4.
+    """
+    kv4 = KVQuantConfig()
+    kv4_per_token = KVQuantConfig(granularity="per_token")
+    fp16_kv = KVQuantConfig(enabled=False)
+    presets = {
+        "trtllm-fp16": lambda: ServingSystem(
+            "trtllm-fp16", CuBLASW16A16(spec), _FP16_BYTES, fp16_kv
+        ),
+        "trtllm-w4a16": lambda: ServingSystem(
+            "trtllm-w4a16", TRTLLMW4A16(spec), _INT4_BYTES, fp16_kv
+        ),
+        "trtllm-w8a8": lambda: ServingSystem(
+            "trtllm-w8a8", TRTLLMW8A8(spec), _INT8_BYTES, fp16_kv
+        ),
+        "qserve": lambda: ServingSystem(
+            "qserve", QServeW4A8(spec), _INT4_BYTES, kv4_per_token
+        ),
+        "comet": lambda: ServingSystem(
+            "comet", W4AxKernel(spec), _INT4_BYTES, kv4
+        ),
+        "comet-w4ax": lambda: ServingSystem(
+            "comet-w4ax", W4AxKernel(spec), _INT4_BYTES, fp16_kv
+        ),
+        "comet-kv4": lambda: ServingSystem(
+            "comet-kv4", TRTLLMW4A16(spec), _INT4_BYTES, kv4
+        ),
+    }
+    try:
+        return presets[name]()
+    except KeyError:
+        known = ", ".join(sorted(presets))
+        raise KeyError(f"unknown system {name!r}; known: {known}") from None
+
+
+SYSTEM_NAMES = (
+    "trtllm-fp16",
+    "trtllm-w4a16",
+    "trtllm-w8a8",
+    "qserve",
+    "comet",
+    "comet-w4ax",
+    "comet-kv4",
+)

@@ -1,0 +1,126 @@
+"""Execution tracing for the serving engine.
+
+A :class:`StepTrace` records one engine iteration (clock, phase mix, batch,
+token counts); :class:`EngineTracer` collects them and exports either a
+summary or the Chrome ``chrome://tracing`` JSON format, so a simulated run
+can be inspected in the same tooling used for real GPU timelines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+__all__ = ["StepTrace", "EngineTracer"]
+
+
+@dataclass(frozen=True)
+class StepTrace:
+    """One engine iteration."""
+
+    index: int
+    start: float
+    duration: float
+    kind: str  # 'prefill' | 'decode' | 'mixed'
+    batch: int
+    decode_tokens: int
+    prefill_tokens: int
+    context_tokens: int
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class EngineTracer:
+    """Collects step traces during an engine run."""
+
+    steps: list[StepTrace] = field(default_factory=list)
+
+    def record(
+        self,
+        start: float,
+        duration: float,
+        kind: str,
+        batch: int,
+        decode_tokens: int,
+        prefill_tokens: int,
+        context_tokens: int,
+    ) -> None:
+        if kind not in ("prefill", "decode", "mixed"):
+            raise ValueError(f"unknown step kind {kind!r}")
+        self.steps.append(
+            StepTrace(
+                index=len(self.steps),
+                start=start,
+                duration=duration,
+                kind=kind,
+                batch=batch,
+                decode_tokens=decode_tokens,
+                prefill_tokens=prefill_tokens,
+                context_tokens=context_tokens,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def total_time(self) -> float:
+        return sum(s.duration for s in self.steps)
+
+    def time_by_kind(self) -> dict[str, float]:
+        out = {"prefill": 0.0, "decode": 0.0, "mixed": 0.0}
+        for s in self.steps:
+            out[s.kind] += s.duration
+        return out
+
+    def longest_step(self) -> StepTrace | None:
+        return max(self.steps, key=lambda s: s.duration, default=None)
+
+    def tokens_per_second_curve(self, window: int = 16) -> list[float]:
+        """Decode throughput over a sliding window of steps."""
+        if window < 1:
+            raise ValueError("window must be positive")
+        curve = []
+        for i in range(len(self.steps)):
+            lo = max(0, i - window + 1)
+            chunk = self.steps[lo : i + 1]
+            dt = sum(s.duration for s in chunk)
+            toks = sum(s.decode_tokens for s in chunk)
+            curve.append(toks / dt if dt > 0 else 0.0)
+        return curve
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_records(self) -> list[dict]:
+        return [asdict(s) for s in self.steps]
+
+    def write_chrome_trace(self, path: str | Path) -> Path:
+        """Write chrome://tracing 'trace event' JSON (microsecond units)."""
+        events = []
+        for s in self.steps:
+            events.append(
+                {
+                    "name": f"{s.kind} b={s.batch}",
+                    "cat": s.kind,
+                    "ph": "X",
+                    "ts": s.start * 1e6,
+                    "dur": s.duration * 1e6,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {
+                        "decode_tokens": s.decode_tokens,
+                        "prefill_tokens": s.prefill_tokens,
+                        "context_tokens": s.context_tokens,
+                    },
+                }
+            )
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"traceEvents": events}))
+        return path

@@ -1,0 +1,74 @@
+"""Workload generators for serving experiments.
+
+Besides the paper's homogeneous fixed-length batches
+(:func:`repro.serving.request.make_batch_requests`), real serving studies
+need arrival processes and length distributions; these generators produce
+seeded Poisson traces with log-normal-ish length variation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serving.request import Request
+
+__all__ = ["make_poisson_trace", "make_heterogeneous_requests"]
+
+
+def make_poisson_trace(
+    num_requests: int,
+    arrival_rate: float,
+    mean_prompt_len: int = 512,
+    mean_new_tokens: int = 128,
+    seed: int = 0,
+) -> list[Request]:
+    """Requests with exponential inter-arrival gaps and varied lengths.
+
+    Args:
+        num_requests: trace length.
+        arrival_rate: mean arrivals per simulated second.
+        mean_prompt_len / mean_new_tokens: geometric means of the length
+            distributions (lengths vary ~2x around them).
+        seed: RNG seed.
+    """
+    if num_requests < 1:
+        raise ValueError("num_requests must be positive")
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive")
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate, size=num_requests))
+    prompts = np.maximum(
+        1, (mean_prompt_len * np.exp(rng.normal(0, 0.4, num_requests))).astype(int)
+    )
+    outputs = np.maximum(
+        1, (mean_new_tokens * np.exp(rng.normal(0, 0.4, num_requests))).astype(int)
+    )
+    return [
+        Request(
+            request_id=i,
+            prompt_len=int(prompts[i]),
+            max_new_tokens=int(outputs[i]),
+            arrival_time=float(arrivals[i]),
+        )
+        for i in range(num_requests)
+    ]
+
+
+def make_heterogeneous_requests(
+    num_requests: int,
+    prompt_range: tuple[int, int] = (64, 1024),
+    output_range: tuple[int, int] = (16, 512),
+    seed: int = 0,
+) -> list[Request]:
+    """Uniformly varied lengths, all arriving at time zero."""
+    if num_requests < 1:
+        raise ValueError("num_requests must be positive")
+    rng = np.random.default_rng(seed)
+    return [
+        Request(
+            request_id=i,
+            prompt_len=int(rng.integers(prompt_range[0], prompt_range[1] + 1)),
+            max_new_tokens=int(rng.integers(output_range[0], output_range[1] + 1)),
+        )
+        for i in range(num_requests)
+    ]

@@ -1,0 +1,275 @@
+"""Manual forward/backward pass for training the tiny transformer.
+
+The accuracy experiments (Tables 1 and 2) require *trained* models — an
+untrained model's perplexity does not respond meaningfully to quantization
+error.  Rather than depend on a deep-learning framework, this module
+implements the full backward pass of the LLaMA-style architecture by hand in
+numpy: embedding, RMSNorm, RoPE, grouped-query causal attention, SwiGLU, and
+the cross-entropy head.  Parameter naming matches
+:func:`repro.model.transformer.init_params`, so trained parameter dicts drop
+straight into the inference :class:`~repro.model.transformer.Transformer`.
+
+Gradients are verified against finite differences in
+``tests/training/test_backprop.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.config import ModelConfig
+from repro.model.rope import RotaryEmbedding
+from repro.model.tensorops import causal_mask
+
+__all__ = ["loss_and_grads", "loss_only"]
+
+_EPS = 1e-5
+
+
+def _rmsnorm_fwd(x: np.ndarray, gain: np.ndarray):
+    rms = np.sqrt(np.mean(x * x, axis=-1, keepdims=True) + _EPS)
+    xn = x / rms
+    return xn * gain, (x, xn, rms)
+
+
+def _rmsnorm_bwd(dy: np.ndarray, gain: np.ndarray, ctx):
+    x, xn, rms = ctx
+    d = x.shape[-1]
+    dgain = np.sum(dy * xn, axis=tuple(range(dy.ndim - 1)))
+    dxn = dy * gain
+    # xn = x / rms, rms depends on all channels.
+    dx = dxn / rms - x * np.sum(dxn * x, axis=-1, keepdims=True) / (d * rms**3)
+    return dx, dgain
+
+
+def _rope_fwd(x: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    xe, xo = x[..., 0::2], x[..., 1::2]
+    out[..., 0::2] = xe * cos - xo * sin
+    out[..., 1::2] = xe * sin + xo * cos
+    return out
+
+
+def _rope_bwd(dy: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
+    # The rotation is orthogonal; the backward pass rotates by -theta.
+    dx = np.empty_like(dy)
+    de, do = dy[..., 0::2], dy[..., 1::2]
+    dx[..., 0::2] = de * cos + do * sin
+    dx[..., 1::2] = -de * sin + do * cos
+    return dx
+
+
+def _silu_fwd(x: np.ndarray):
+    z = np.clip(x, -30.0, 30.0)
+    sig = 1.0 / (1.0 + np.exp(-z))
+    return x * sig, sig
+
+
+def _silu_bwd(dy: np.ndarray, x: np.ndarray, sig: np.ndarray) -> np.ndarray:
+    return dy * (sig + x * sig * (1.0 - sig))
+
+
+def _linear_fwd(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    return x @ w.T
+
+
+def _linear_bwd(dy: np.ndarray, x: np.ndarray, w: np.ndarray):
+    dx = dy @ w
+    dw = np.tensordot(dy, x, axes=(tuple(range(dy.ndim - 1)),) * 2)
+    return dx, dw
+
+
+def loss_and_grads(
+    params: dict[str, np.ndarray],
+    config: ModelConfig,
+    tokens: np.ndarray,
+    rope: RotaryEmbedding | None = None,
+) -> tuple[float, dict[str, np.ndarray]]:
+    """Mean next-token cross-entropy and its gradient w.r.t. every parameter.
+
+    Args:
+        params: parameter dict (see :func:`repro.model.transformer.init_params`).
+        config: model architecture.
+        tokens: int array ``(batch, seq)``; positions ``0..seq-2`` are
+            supervised with targets ``tokens[:, 1:]``.
+        rope: optional precomputed rotary tables (built on the fly if None).
+
+    Returns:
+        ``(loss, grads)`` with ``grads`` keyed like ``params``.
+    """
+    tokens = np.asarray(tokens)
+    if tokens.ndim != 2 or tokens.shape[1] < 2:
+        raise ValueError("tokens must be (batch, seq>=2)")
+    B, T = tokens.shape
+    cfg = config
+    hd = cfg.head_dim
+    rope = rope or RotaryEmbedding(hd, cfg.max_seq_len)
+    cos, sin = rope.tables(np.arange(T))  # (T, hd/2)
+    cos = cos[None, :, None, :]  # (1, T, 1, hd/2)
+    sin = sin[None, :, None, :]
+    mask = causal_mask(T, T)[None, None, :, :]  # (1, 1, T, T)
+    scale = 1.0 / np.sqrt(hd)
+
+    grads: dict[str, np.ndarray] = {}
+
+    # ------------------------------- forward -----------------------------
+    x = params["embed.weight"][tokens].astype(np.float64)  # (B, T, D)
+    layer_ctx = []
+    for i in range(cfg.n_layers):
+        p = f"layers.{i}"
+        g1 = params[f"{p}.attn_norm.gain"].astype(np.float64)
+        wq = params[f"{p}.attn.wq.weight"].astype(np.float64)
+        wk = params[f"{p}.attn.wk.weight"].astype(np.float64)
+        wv = params[f"{p}.attn.wv.weight"].astype(np.float64)
+        wo = params[f"{p}.attn.wo.weight"].astype(np.float64)
+        g2 = params[f"{p}.mlp_norm.gain"].astype(np.float64)
+        wg = params[f"{p}.mlp.w_gate.weight"].astype(np.float64)
+        wu = params[f"{p}.mlp.w_up.weight"].astype(np.float64)
+        wd = params[f"{p}.mlp.w_down.weight"].astype(np.float64)
+
+        h1, n1_ctx = _rmsnorm_fwd(x, g1)
+        q = _linear_fwd(h1, wq).reshape(B, T, cfg.n_heads, hd)
+        k = _linear_fwd(h1, wk).reshape(B, T, cfg.n_kv_heads, hd)
+        v = _linear_fwd(h1, wv).reshape(B, T, cfg.n_kv_heads, hd)
+        qr = _rope_fwd(q, cos, sin)
+        kr = _rope_fwd(k, cos, sin)
+        if cfg.gqa_group > 1:
+            kr_rep = np.repeat(kr, cfg.gqa_group, axis=2)
+            v_rep = np.repeat(v, cfg.gqa_group, axis=2)
+        else:
+            kr_rep, v_rep = kr, v
+        # scores: (B, H, T, T)
+        scores = np.einsum("bqhd,bkhd->bhqk", qr, kr_rep) * scale + mask
+        smax = scores.max(axis=-1, keepdims=True)
+        e = np.exp(scores - smax)
+        probs = e / e.sum(axis=-1, keepdims=True)
+        ctx = np.einsum("bhqk,bkhd->bqhd", probs, v_rep)
+        ctx_flat = ctx.reshape(B, T, cfg.n_heads * hd)
+        attn_out = _linear_fwd(ctx_flat, wo)
+        x1 = x + attn_out
+
+        h2, n2_ctx = _rmsnorm_fwd(x1, g2)
+        gate = _linear_fwd(h2, wg)
+        up = _linear_fwd(h2, wu)
+        act, sig = _silu_fwd(gate)
+        s = act * up
+        down = _linear_fwd(s, wd)
+        x2 = x1 + down
+
+        layer_ctx.append(
+            dict(
+                x=x, h1=h1, n1=n1_ctx, qr=qr, kr=kr, v=v, probs=probs,
+                ctx_flat=ctx_flat, x1=x1, h2=h2, n2=n2_ctx, gate=gate,
+                up=up, act=act, sig=sig, s=s,
+            )
+        )
+        x = x2
+
+    gF = params["final_norm.gain"].astype(np.float64)
+    wh = params["lm_head.weight"].astype(np.float64)
+    hF, nF_ctx = _rmsnorm_fwd(x, gF)
+    logits = _linear_fwd(hF, wh)  # (B, T, V)
+
+    # Cross entropy on positions 0..T-2 predicting tokens 1..T-1.
+    sup = logits[:, :-1, :]
+    targets = tokens[:, 1:]
+    smax = sup.max(axis=-1, keepdims=True)
+    lse = smax + np.log(np.exp(sup - smax).sum(axis=-1, keepdims=True))
+    logp = sup - lse
+    n_sup = B * (T - 1)
+    picked = np.take_along_axis(logp, targets[..., None], axis=-1)
+    loss = float(-picked.mean())
+
+    # ------------------------------- backward ----------------------------
+    dlogits = np.zeros_like(logits)
+    soft = np.exp(logp)
+    onehot = np.zeros_like(soft)
+    np.put_along_axis(onehot, targets[..., None], 1.0, axis=-1)
+    dlogits[:, :-1, :] = (soft - onehot) / n_sup
+
+    dhF, dwh = _linear_bwd(dlogits, hF, wh)
+    grads["lm_head.weight"] = dwh
+    dx, dgF = _rmsnorm_bwd(dhF, gF, nF_ctx)
+    grads["final_norm.gain"] = dgF
+
+    for i in reversed(range(cfg.n_layers)):
+        p = f"layers.{i}"
+        c = layer_ctx[i]
+        wq = params[f"{p}.attn.wq.weight"].astype(np.float64)
+        wk = params[f"{p}.attn.wk.weight"].astype(np.float64)
+        wv = params[f"{p}.attn.wv.weight"].astype(np.float64)
+        wo = params[f"{p}.attn.wo.weight"].astype(np.float64)
+        wg = params[f"{p}.mlp.w_gate.weight"].astype(np.float64)
+        wu = params[f"{p}.mlp.w_up.weight"].astype(np.float64)
+        wd = params[f"{p}.mlp.w_down.weight"].astype(np.float64)
+        g1 = params[f"{p}.attn_norm.gain"].astype(np.float64)
+        g2 = params[f"{p}.mlp_norm.gain"].astype(np.float64)
+
+        # MLP backward: x2 = x1 + down(s)
+        ds, dwd = _linear_bwd(dx, c["s"], wd)
+        grads[f"{p}.mlp.w_down.weight"] = dwd
+        dact = ds * c["up"]
+        dup = ds * c["act"]
+        dgate = _silu_bwd(dact, c["gate"], c["sig"])
+        dh2_a, dwg = _linear_bwd(dgate, c["h2"], wg)
+        dh2_b, dwu = _linear_bwd(dup, c["h2"], wu)
+        grads[f"{p}.mlp.w_gate.weight"] = dwg
+        grads[f"{p}.mlp.w_up.weight"] = dwu
+        dx1_norm, dg2 = _rmsnorm_bwd(dh2_a + dh2_b, g2, c["n2"])
+        grads[f"{p}.mlp_norm.gain"] = dg2
+        dx1 = dx + dx1_norm  # residual
+
+        # Attention backward: x1 = x + wo(ctx_flat)
+        dctx_flat, dwo = _linear_bwd(dx1, c["ctx_flat"], wo)
+        grads[f"{p}.attn.wo.weight"] = dwo
+        dctx = dctx_flat.reshape(B, T, cfg.n_heads, hd)
+        probs = c["probs"]
+        if cfg.gqa_group > 1:
+            kr_rep = np.repeat(c["kr"], cfg.gqa_group, axis=2)
+            v_rep = np.repeat(c["v"], cfg.gqa_group, axis=2)
+        else:
+            kr_rep, v_rep = c["kr"], c["v"]
+        dprobs = np.einsum("bqhd,bkhd->bhqk", dctx, v_rep)
+        dv_rep = np.einsum("bhqk,bqhd->bkhd", probs, dctx)
+        dscores = probs * (dprobs - np.sum(dprobs * probs, axis=-1, keepdims=True))
+        dqr = np.einsum("bhqk,bkhd->bqhd", dscores, kr_rep) * scale
+        dkr_rep = np.einsum("bhqk,bqhd->bkhd", dscores, c["qr"]) * scale
+        if cfg.gqa_group > 1:
+            shape = (B, T, cfg.n_kv_heads, cfg.gqa_group, hd)
+            dkr = dkr_rep.reshape(shape).sum(axis=3)
+            dv = dv_rep.reshape(shape).sum(axis=3)
+        else:
+            dkr, dv = dkr_rep, dv_rep
+        dq = _rope_bwd(dqr, cos, sin)
+        dk = _rope_bwd(dkr, cos, sin)
+        dq_flat = dq.reshape(B, T, cfg.n_heads * hd)
+        dk_flat = dk.reshape(B, T, cfg.kv_dim)
+        dv_flat = dv.reshape(B, T, cfg.kv_dim)
+        dh1_q, dwq = _linear_bwd(dq_flat, c["h1"], wq)
+        dh1_k, dwk = _linear_bwd(dk_flat, c["h1"], wk)
+        dh1_v, dwv = _linear_bwd(dv_flat, c["h1"], wv)
+        grads[f"{p}.attn.wq.weight"] = dwq
+        grads[f"{p}.attn.wk.weight"] = dwk
+        grads[f"{p}.attn.wv.weight"] = dwv
+        dx_norm, dg1 = _rmsnorm_bwd(dh1_q + dh1_k + dh1_v, g1, c["n1"])
+        grads[f"{p}.attn_norm.gain"] = dg1
+        dx = dx1 + dx_norm  # residual
+
+    # Embedding backward: scatter-add token gradients.
+    dembed = np.zeros_like(params["embed.weight"], dtype=np.float64)
+    np.add.at(dembed, tokens.reshape(-1), dx.reshape(-1, cfg.d_model))
+    grads["embed.weight"] = dembed
+
+    grads = {k: v.astype(np.float32) for k, v in grads.items()}
+    return loss, grads
+
+
+def loss_only(
+    params: dict[str, np.ndarray],
+    config: ModelConfig,
+    tokens: np.ndarray,
+    rope: RotaryEmbedding | None = None,
+) -> float:
+    """Cross-entropy loss without gradients (used for eval and grad checks)."""
+    loss, _ = loss_and_grads(params, config, tokens, rope)
+    return loss

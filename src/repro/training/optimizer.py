@@ -1,0 +1,84 @@
+"""Adam optimizer with gradient clipping and cosine LR decay."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["AdamConfig", "Adam", "clip_grad_norm", "cosine_lr"]
+
+
+@dataclass(frozen=True)
+class AdamConfig:
+    lr: float = 3e-3
+    beta1: float = 0.9
+    beta2: float = 0.95
+    eps: float = 1e-8
+    weight_decay: float = 0.0
+    grad_clip: float = 1.0
+
+
+def clip_grad_norm(
+    grads: dict[str, np.ndarray], max_norm: float
+) -> tuple[dict[str, np.ndarray], float]:
+    """Scale gradients so their global L2 norm is at most ``max_norm``."""
+    total = float(np.sqrt(sum(float(np.sum(g.astype(np.float64) ** 2)) for g in grads.values())))
+    if max_norm <= 0 or total <= max_norm or total == 0.0:
+        return grads, total
+    scale = max_norm / total
+    return {k: g * scale for k, g in grads.items()}, total
+
+
+def cosine_lr(step: int, total_steps: int, base_lr: float, warmup: int = 10) -> float:
+    """Linear warmup then cosine decay to 10% of the base LR."""
+    if total_steps <= 0:
+        raise ValueError("total_steps must be positive")
+    if warmup > 0 and step < warmup:
+        return base_lr * (step + 1) / warmup
+    progress = (step - warmup) / max(total_steps - warmup, 1)
+    progress = min(max(progress, 0.0), 1.0)
+    return base_lr * (0.1 + 0.9 * 0.5 * (1.0 + np.cos(np.pi * progress)))
+
+
+@dataclass
+class Adam:
+    """Standard Adam with decoupled weight decay."""
+
+    config: AdamConfig = field(default_factory=AdamConfig)
+
+    def __post_init__(self) -> None:
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def step(
+        self,
+        params: dict[str, np.ndarray],
+        grads: dict[str, np.ndarray],
+        lr: float | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Apply one update; returns a new parameter dict."""
+        cfg = self.config
+        lr = cfg.lr if lr is None else lr
+        grads, _ = clip_grad_norm(grads, cfg.grad_clip)
+        self._t += 1
+        out: dict[str, np.ndarray] = {}
+        for name, p in params.items():
+            g = grads[name].astype(np.float32)
+            m = self._m.get(name)
+            v = self._v.get(name)
+            if m is None:
+                m = np.zeros_like(p, dtype=np.float32)
+                v = np.zeros_like(p, dtype=np.float32)
+            m = cfg.beta1 * m + (1 - cfg.beta1) * g
+            v = cfg.beta2 * v + (1 - cfg.beta2) * g * g
+            self._m[name] = m
+            self._v[name] = v
+            mhat = m / (1 - cfg.beta1**self._t)
+            vhat = v / (1 - cfg.beta2**self._t)
+            update = mhat / (np.sqrt(vhat) + cfg.eps)
+            if cfg.weight_decay > 0:
+                update = update + cfg.weight_decay * p
+            out[name] = (p - lr * update).astype(np.float32)
+        return out

@@ -1,0 +1,77 @@
+"""Training loop for the tiny evaluation models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.corpus import SyntheticCorpus
+from repro.model.config import ModelConfig
+from repro.model.rope import RotaryEmbedding
+from repro.model.transformer import init_params
+from repro.training.backprop import loss_and_grads, loss_only
+from repro.training.optimizer import Adam, AdamConfig, cosine_lr
+
+__all__ = ["TrainConfig", "TrainResult", "train"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    steps: int = 300
+    batch_size: int = 16
+    seq_len: int = 48
+    adam: AdamConfig = field(default_factory=AdamConfig)
+    seed: int = 0
+    eval_every: int = 50
+    eval_batches: int = 4
+
+
+@dataclass
+class TrainResult:
+    params: dict[str, np.ndarray]
+    train_losses: list[float]
+    eval_losses: list[float]
+    final_eval_loss: float
+
+
+def train(
+    model_config: ModelConfig,
+    corpus: SyntheticCorpus,
+    train_config: TrainConfig | None = None,
+) -> TrainResult:
+    """Train a tiny transformer on the synthetic corpus.
+
+    Returns trained parameters plus loss curves; parameters plug directly
+    into :class:`repro.model.transformer.Transformer`.
+    """
+    tc = train_config or TrainConfig()
+    params = init_params(model_config, seed=tc.seed)
+    rope = RotaryEmbedding(model_config.head_dim, model_config.max_seq_len)
+    opt = Adam(tc.adam)
+    train_losses: list[float] = []
+    eval_losses: list[float] = []
+
+    def eval_loss(step: int) -> float:
+        total = 0.0
+        for b in range(tc.eval_batches):
+            tokens = corpus.batch(tc.batch_size, tc.seq_len, seed=10_000_000 + b)
+            total += loss_only(params, model_config, tokens, rope)
+        return total / tc.eval_batches
+
+    for step in range(tc.steps):
+        tokens = corpus.batch(tc.batch_size, tc.seq_len, seed=tc.seed * 7919 + step)
+        loss, grads = loss_and_grads(params, model_config, tokens, rope)
+        train_losses.append(loss)
+        lr = cosine_lr(step, tc.steps, tc.adam.lr)
+        params = opt.step(params, grads, lr=lr)
+        if tc.eval_every and (step + 1) % tc.eval_every == 0:
+            eval_losses.append(eval_loss(step))
+
+    final = eval_loss(tc.steps)
+    return TrainResult(
+        params=params,
+        train_losses=train_losses,
+        eval_losses=eval_losses,
+        final_eval_loss=final,
+    )

@@ -1,0 +1,113 @@
+"""A small zoo of trained tiny models, cached on disk.
+
+The accuracy experiments (Tables 1-2) evaluate many quantization methods on
+the same trained checkpoints.  Training takes tens of seconds per model, so
+checkpoints are cached as ``.npz`` files under ``.model_zoo/`` at the repo
+root (or ``$REPRO_ZOO_DIR``) and shared across test and benchmark processes.
+
+Every zoo model has function-preserving activation outliers injected after
+training (see :mod:`repro.model.outlier_injection`), matching the emergent
+outlier structure that makes real LLM activations hard to quantize.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.corpus import SyntheticCorpus
+from repro.model.config import ModelConfig, tiny_config
+from repro.model.outlier_injection import inject_outliers
+from repro.model.transformer import Transformer
+from repro.training.trainer import TrainConfig, train
+
+__all__ = ["ZooEntry", "ZOO_SPECS", "load_zoo_model", "zoo_dir"]
+
+
+@dataclass(frozen=True)
+class ZooEntry:
+    """A trained model plus the corpus it was trained on."""
+
+    name: str
+    model: Transformer
+    corpus: SyntheticCorpus
+    final_eval_loss: float
+
+
+def zoo_dir() -> Path:
+    root = os.environ.get("REPRO_ZOO_DIR")
+    if root:
+        return Path(root)
+    return Path(__file__).resolve().parents[3] / ".model_zoo"
+
+
+def _spec(name: str, seed: int, d_model: int = 64, n_layers: int = 2,
+          n_kv_heads: int | None = None, steps: int = 260) -> dict:
+    return dict(
+        name=name, seed=seed, d_model=d_model, n_layers=n_layers,
+        n_kv_heads=n_kv_heads, steps=steps,
+    )
+
+
+#: Tiny stand-ins for the paper's model families.  Distinct seeds and shapes
+#: play the role of distinct pretrained checkpoints; the GQA entry mirrors
+#: the LLaMA-3 architecture choice.
+ZOO_SPECS: dict[str, dict] = {
+    "tiny-llama-1": _spec("tiny-llama-1", seed=101),
+    "tiny-llama-2": _spec("tiny-llama-2", seed=202),
+    "tiny-llama-3": _spec("tiny-llama-3", seed=303, n_kv_heads=2),
+    "tiny-mistral": _spec("tiny-mistral", seed=404, n_kv_heads=2),
+    "tiny-opt": _spec("tiny-opt", seed=505),
+    "tiny-qwen2": _spec("tiny-qwen2", seed=606, n_kv_heads=2),
+}
+
+
+def _build_config(spec: dict) -> ModelConfig:
+    return tiny_config(
+        name=spec["name"],
+        vocab_size=64,
+        d_model=spec["d_model"],
+        n_layers=spec["n_layers"],
+        n_heads=4,
+        n_kv_heads=spec["n_kv_heads"],
+        d_ffn=2 * spec["d_model"],
+        max_seq_len=256,
+    )
+
+
+def load_zoo_model(name: str, refresh: bool = False) -> ZooEntry:
+    """Load (training + caching as needed) a zoo model by name."""
+    if name not in ZOO_SPECS:
+        known = ", ".join(sorted(ZOO_SPECS))
+        raise KeyError(f"unknown zoo model {name!r}; known: {known}")
+    spec = ZOO_SPECS[name]
+    config = _build_config(spec)
+    corpus = SyntheticCorpus(vocab_size=config.vocab_size, seed=spec["seed"])
+    cache = zoo_dir() / f"{name}.npz"
+
+    if cache.exists() and not refresh:
+        blob = np.load(cache)
+        params = {k: blob[k] for k in blob.files if k != "__final_eval_loss"}
+        final_loss = float(blob["__final_eval_loss"])
+        model = Transformer(config, params=params)
+        return ZooEntry(name=name, model=model, corpus=corpus,
+                        final_eval_loss=final_loss)
+
+    result = train(
+        config,
+        corpus,
+        TrainConfig(steps=spec["steps"], seed=spec["seed"], eval_every=0),
+    )
+    model = Transformer(config, params=result.params)
+    inject_outliers(model, channels_per_site=2, gain=40.0, seed=spec["seed"])
+    cache.parent.mkdir(parents=True, exist_ok=True)
+    to_save = dict(model.get_params())
+    to_save["__final_eval_loss"] = np.float64(result.final_eval_loss)
+    np.savez(cache, **to_save)
+    return ZooEntry(
+        name=name, model=model, corpus=corpus,
+        final_eval_loss=result.final_eval_loss,
+    )

@@ -1,0 +1,133 @@
+"""Tests for roofline/distribution analysis and the top-level API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.distribution import analyze_activations, gemm_volume_summary
+from repro.analysis.roofline import (
+    activation_activation_intensity,
+    attainable_tput,
+    balance_point,
+    roofline_sweep,
+    weight_activation_intensity,
+)
+from repro.baselines.registry import collect_calibration, apply_quantization
+from repro.gpu.spec import A100_80G_SXM4
+from repro.model.transformer import Transformer
+
+
+class TestRoofline:
+    def test_balance_points_scale_with_precision(self):
+        a = A100_80G_SXM4
+        assert balance_point(a, "int4") == 2 * balance_point(a, "int8")
+        assert balance_point(a, "int8") == 2 * balance_point(a, "fp16")
+
+    def test_attainable_clamped_by_peak(self):
+        a = A100_80G_SXM4
+        assert attainable_tput(a, 1e9, "fp16") == a.tc_tput("fp16")
+        assert attainable_tput(a, 1.0, "fp16") == a.hbm_bandwidth
+
+    def test_attainable_validation(self):
+        with pytest.raises(ValueError):
+            attainable_tput(A100_80G_SXM4, 0.0, "fp16")
+
+    def test_attention_always_memory_bound(self):
+        """Figure 2: activation-activation intensity ~1 << balance point."""
+        inten = activation_activation_intensity(2.0)
+        assert inten == 1.0
+        assert inten < balance_point(A100_80G_SXM4, "fp16")
+
+    def test_kv4_raises_attention_intensity(self):
+        assert activation_activation_intensity(0.5) == pytest.approx(
+            4 * activation_activation_intensity(2.0)
+        )
+
+    def test_weight_activation_intensity_grows_with_batch(self):
+        i1 = weight_activation_intensity(1, 8192, 8192, 1.0, 0.5)
+        i256 = weight_activation_intensity(256, 8192, 8192, 1.0, 0.5)
+        assert i256 > 50 * i1
+
+    def test_crossover_exists(self):
+        """Figure 2: weight-activation ops become compute-bound at large
+        batch but stay memory-bound at batch 1."""
+        a = A100_80G_SXM4
+        small = weight_activation_intensity(1, 8192, 8192, 0.5, 0.5)
+        large = weight_activation_intensity(1024, 8192, 8192, 0.5, 0.5)
+        assert small < balance_point(a, "int4")
+        assert large > balance_point(a, "int4")
+
+    def test_sweep_structure(self):
+        pts = roofline_sweep()
+        names = {p.name for p in pts}
+        assert "attn-fp16" in names
+        assert "linear-int4-b256" in names
+        attn = next(p for p in pts if p.name == "attn-fp16")
+        assert attn.memory_bound
+
+
+class TestDistribution:
+    def test_detects_injected_outliers(self, zoo_llama1):
+        dists = analyze_activations(zoo_llama1.model, zoo_llama1.corpus)
+        flagged = [d for d in dists.values() if d.outlier_ratio > 0]
+        assert len(flagged) >= len(dists) // 2
+        big = max(d.magnitude_ratio for d in dists.values())
+        assert big > 10  # planted 40x outliers
+
+    def test_summary_text(self, zoo_llama1):
+        dists = analyze_activations(zoo_llama1.model, zoo_llama1.corpus)
+        text = next(iter(dists.values())).summary()
+        assert "outlier channels" in text
+
+    def test_gemm_volume_summary(self, zoo_llama1):
+        model = Transformer(
+            zoo_llama1.model.config,
+            params={k: v.copy() for k, v in zoo_llama1.model.get_params().items()},
+        )
+        calib = collect_calibration(model, zoo_llama1.corpus, num_sequences=4)
+        report = apply_quantization(model, "fmpq-w4ax", calib, group_size=16)
+        summary = gemm_volume_summary(report.layer_stats)
+        assert 0.5 < summary["mean_w4a4_fraction"] <= 1.0
+        assert summary["mean_int8_fraction"] == pytest.approx(
+            1 - summary["mean_w4a4_fraction"]
+        )
+
+    def test_empty_stats_rejected(self):
+        with pytest.raises(ValueError):
+            gemm_volume_summary({})
+
+
+class TestTopLevelAPI:
+    def test_quantize_model(self, zoo_llama1):
+        model = Transformer(
+            zoo_llama1.model.config,
+            params={k: v.copy() for k, v in zoo_llama1.model.get_params().items()},
+        )
+        qm = repro.quantize_model(model, zoo_llama1.corpus, method="fmpq-w4axkv4")
+        assert qm.report.method == "fmpq-w4axkv4"
+        logits = qm.forward(np.array([1, 2, 3]))
+        assert logits.shape == (3, model.config.vocab_size)
+        cache = qm.new_cache()
+        assert cache.config.enabled  # KV4
+
+    def test_quantize_model_unknown_method(self, zoo_llama1):
+        with pytest.raises(KeyError):
+            repro.quantize_model(zoo_llama1.model, zoo_llama1.corpus, method="magic")
+
+    def test_build_engine_by_name(self):
+        eng = repro.build_engine("llama-3-8b", "comet", max_batch=8)
+        assert eng.config.max_batch == 8
+        assert eng.plan.fits
+
+    def test_kernel_latency(self):
+        lat = repro.kernel_latency("comet-w4ax", 16, 4096, 4096)
+        assert lat.seconds > 0
+        with pytest.raises(KeyError):
+            repro.kernel_latency("magic", 1, 1, 1)
+
+    def test_kernel_latency_kwargs(self):
+        fast = repro.kernel_latency("comet-w4ax", 64, 8192, 8192).seconds
+        slow = repro.kernel_latency(
+            "comet-w4ax", 64, 8192, 8192, software_pipeline=False
+        ).seconds
+        assert slow > fast

@@ -1,0 +1,59 @@
+"""Tests for the quantization error-budget decomposition."""
+
+import pytest
+
+from repro.analysis.error_budget import ErrorBudget, compute_error_budget
+
+
+@pytest.fixture(scope="module")
+def budget(zoo_llama1):
+    return compute_error_budget(
+        zoo_llama1.model, zoo_llama1.corpus, num_sequences=6
+    )
+
+
+class TestErrorBudget:
+    def test_all_sources_bounded(self, budget):
+        """Each isolated source costs little on its own."""
+        for which in ("weights_only", "activations_only", "kv_only"):
+            assert budget.delta(which) < 0.1, which
+
+    def test_fmpq_activations_beat_naive(self, budget):
+        """The core FMPQ claim, isolated from weights and KV: outlier-aware
+        block quantization slashes the activation error term."""
+        assert budget.delta("activations_naive") > 5 * max(
+            budget.delta("activations_only"), 1e-4
+        )
+
+    def test_kv4_nearly_free(self, budget):
+        assert abs(budget.delta("kv_only")) < 0.02
+
+    def test_combined_roughly_additive(self, budget):
+        """No pathological error interaction: the full deployment costs
+        about the sum of its parts (within 3x slack for interactions)."""
+        parts = (
+            budget.delta("weights_only")
+            + budget.delta("activations_only")
+            + budget.delta("kv_only")
+        )
+        assert budget.delta("combined") < 3 * abs(parts) + 0.02
+
+    def test_combined_far_below_naive_activations(self, budget):
+        assert budget.delta("combined") < budget.delta("activations_naive")
+
+    def test_summary_format(self, budget):
+        text = budget.summary()
+        assert "fp16 ppl" in text
+        assert "activations_naive" in text
+
+    def test_model_not_mutated(self, zoo_llama1, budget):
+        from repro.model.layers import Linear
+
+        assert all(
+            isinstance(lin, Linear)
+            for lin in zoo_llama1.model.named_linears().values()
+        )
+
+    def test_dataclass_fields(self):
+        b = ErrorBudget(1.0, 1.1, 1.2, 1.5, 1.0, 1.3)
+        assert b.delta("combined") == pytest.approx(0.3)

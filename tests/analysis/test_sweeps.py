@@ -1,0 +1,74 @@
+"""Tests for kernel sweep utilities."""
+
+import csv
+
+import pytest
+
+from repro.analysis.sweeps import (
+    kernel_sweep,
+    model_layer_shapes,
+    normalize_sweep,
+    sweep_to_csv,
+)
+from repro.kernels.baselines import CuBLASW16A16
+from repro.kernels.w4ax import W4AxKernel
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    kernels = {"cublas": CuBLASW16A16(), "comet": W4AxKernel()}
+    # Large-model shape: COMET's fixed 128^3 tiling needs enough tiles to
+    # win (at tiny shapes like 2048^2 the adaptive cuBLAS tiling can edge
+    # it out — the Section 6.3 caveat).
+    shapes = [("test:wq", 8192, 8192)]
+    return kernel_sweep(kernels, shapes, batches=(4, 64))
+
+
+class TestModelLayerShapes:
+    def test_dedup_across_models(self):
+        # llama-2-13b and llama-1-13b share dimensions entirely.
+        shapes = model_layer_shapes(("llama-2-13b", "llama-1-13b"))
+        labels = [s[0] for s in shapes]
+        assert all(l.startswith("llama-2-13b") for l in labels)
+
+    def test_unknown_layer(self):
+        with pytest.raises(KeyError):
+            model_layer_shapes(("llama-3-8b",), layers=("w_qkv",))
+
+    def test_shapes_match_config(self):
+        shapes = dict(
+            (label, (n, k))
+            for label, n, k in model_layer_shapes(("llama-3-8b",), layers=("wq",))
+        )
+        assert shapes["llama-3-8b:wq"] == (4096, 4096)
+
+
+class TestKernelSweep:
+    def test_row_grid_complete(self, small_sweep):
+        assert len(small_sweep) == 2 * 2  # kernels x batches
+        assert {r.kernel for r in small_sweep} == {"cublas", "comet"}
+        assert {r.m for r in small_sweep} == {4, 64}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kernel_sweep({}, [("x", 128, 128)], (4,))
+        with pytest.raises(ValueError):
+            kernel_sweep({"c": CuBLASW16A16()}, [("x", 128, 128)], ())
+
+    def test_normalize(self, small_sweep):
+        speedups = normalize_sweep(small_sweep, baseline="cublas")
+        for point, by_kernel in speedups.items():
+            assert by_kernel["cublas"] == pytest.approx(1.0)
+            assert by_kernel["comet"] > 1.0, point
+
+    def test_normalize_missing_baseline(self, small_sweep):
+        with pytest.raises(KeyError):
+            normalize_sweep(small_sweep, baseline="magic")
+
+    def test_csv_roundtrip(self, small_sweep, tmp_path):
+        path = sweep_to_csv(small_sweep, tmp_path / "sweep.csv")
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == len(small_sweep)
+        assert {"kernel", "m", "n", "k", "seconds"} <= set(rows[0])
+        assert float(rows[0]["seconds"]) > 0

@@ -1,0 +1,145 @@
+"""Tests for the quantization method registry on trained models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import (
+    METHODS,
+    apply_quantization,
+    collect_calibration,
+)
+from repro.data.perplexity import evaluate_perplexity
+from repro.model.transformer import Transformer
+
+
+def clone_model(entry):
+    params = {k: v.copy() for k, v in entry.model.get_params().items()}
+    return Transformer(entry.model.config, params=params)
+
+
+@pytest.fixture(scope="module")
+def calib(zoo_llama1):
+    return collect_calibration(zoo_llama1.model, zoo_llama1.corpus, num_sequences=6)
+
+
+class TestCollectCalibration:
+    def test_covers_all_linears(self, zoo_llama1, calib):
+        assert set(calib) == set(zoo_llama1.model.named_linears())
+
+    def test_shapes(self, zoo_llama1, calib):
+        d = zoo_llama1.model.config.d_model
+        assert calib["layers.0.attn.wq"].shape[1] == d
+        assert calib["layers.0.mlp.w_down"].shape[1] == zoo_llama1.model.config.d_ffn
+
+    def test_taps_removed(self, zoo_llama1):
+        assert all(
+            lin.tap is None for lin in zoo_llama1.model.named_linears().values()
+        )
+
+
+class TestApplyQuantization:
+    def test_unknown_method(self, zoo_llama1, calib):
+        with pytest.raises(KeyError):
+            apply_quantization(clone_model(zoo_llama1), "int2-magic", calib)
+
+    def test_fp16_is_noop(self, zoo_llama1, calib):
+        model = clone_model(zoo_llama1)
+        report = apply_quantization(model, "fp16", calib)
+        assert report.kv_config is None
+        seq = zoo_llama1.corpus.sample_sequence(12, seed=0)
+        np.testing.assert_allclose(
+            model.forward(seq), zoo_llama1.model.forward(seq), atol=1e-5
+        )
+
+    @pytest.mark.parametrize("method", sorted(METHODS))
+    def test_every_method_runs_and_predicts(self, zoo_llama1, calib, method):
+        model = clone_model(zoo_llama1)
+        report = apply_quantization(model, method, calib, group_size=16)
+        assert report.method == method
+        ppl = evaluate_perplexity(
+            model,
+            zoo_llama1.corpus,
+            num_sequences=2,
+            seq_len=24,
+            kv_config=report.kv_config,
+        )
+        assert np.isfinite(ppl)
+        # Even the worst method stays below the untrained ceiling.
+        assert ppl < zoo_llama1.model.config.vocab_size
+
+    def test_fmpq_reports_layer_stats(self, zoo_llama1, calib):
+        model = clone_model(zoo_llama1)
+        report = apply_quantization(model, "fmpq-w4axkv4", calib, group_size=16)
+        assert len(report.layer_stats) == len(model.named_linears())
+        assert 0.0 < report.mean_w4a4_fraction <= 1.0
+        assert report.kv_config is not None
+
+    def test_fmpq_majority_w4a4(self, zoo_llama1, calib):
+        model = clone_model(zoo_llama1)
+        report = apply_quantization(model, "fmpq-w4ax", calib, group_size=16)
+        assert report.mean_w4a4_fraction > 0.5
+
+
+class TestTable1Ordering:
+    """The accuracy ordering the paper's Table 1 demonstrates."""
+
+    @pytest.fixture(scope="class")
+    def ppls(self, zoo_llama1, calib):
+        out = {}
+        for method in (
+            "fp16",
+            "smoothquant-w8a8",
+            "omniquant-w4a16",
+            "omniquant-w4a4",
+            "qoq-w4a8kv4",
+            "fmpq-w4axkv4",
+        ):
+            model = clone_model(zoo_llama1)
+            report = apply_quantization(model, method, calib, group_size=16)
+            out[method] = evaluate_perplexity(
+                model,
+                zoo_llama1.corpus,
+                num_sequences=6,
+                seq_len=40,
+                kv_config=report.kv_config,
+            )
+        return out
+
+    def test_fmpq_close_to_fp16(self, ppls):
+        # Paper: FMPQ W4AxKV4 adds ~0.05-0.3 ppl over FP16.
+        assert ppls["fmpq-w4axkv4"] < ppls["fp16"] * 1.10
+
+    def test_w4a4_collapses(self, ppls):
+        # Paper: full W4A4 OmniQuant is unusable.
+        assert ppls["omniquant-w4a4"] > ppls["fp16"] * 1.12
+        assert ppls["omniquant-w4a4"] > ppls["fmpq-w4axkv4"] * 1.10
+
+    def test_fmpq_competitive_with_qoq(self, ppls):
+        assert ppls["fmpq-w4axkv4"] < ppls["qoq-w4a8kv4"] * 1.05
+
+    def test_w8a8_near_lossless(self, ppls):
+        assert ppls["smoothquant-w8a8"] < ppls["fp16"] * 1.03
+
+
+class TestTable1OrderingGQA:
+    """The same accuracy ordering holds on the GQA (LLaMA-3-style) model."""
+
+    def test_gqa_model_ordering(self, zoo_llama3):
+        from repro.data.perplexity import evaluate_perplexity
+
+        calib = collect_calibration(
+            zoo_llama3.model, zoo_llama3.corpus, num_sequences=6
+        )
+        ppls = {}
+        for method in ("fp16", "fmpq-w4axkv4", "omniquant-w4a4"):
+            model = clone_model(zoo_llama3)
+            report = apply_quantization(model, method, calib, group_size=16)
+            ppls[method] = evaluate_perplexity(
+                model,
+                zoo_llama3.corpus,
+                num_sequences=6,
+                seq_len=40,
+                kv_config=report.kv_config,
+            )
+        assert ppls["fmpq-w4axkv4"] < ppls["fp16"] * 1.10
+        assert ppls["omniquant-w4a4"] > ppls["fmpq-w4axkv4"] * 1.05

@@ -1,0 +1,17 @@
+"""Shared fixtures: trained zoo models (cached on disk across runs)."""
+
+import pytest
+
+from repro.training.zoo import load_zoo_model
+
+
+@pytest.fixture(scope="session")
+def zoo_llama1():
+    """A trained tiny model with injected outliers (cached in .model_zoo)."""
+    return load_zoo_model("tiny-llama-1")
+
+
+@pytest.fixture(scope="session")
+def zoo_llama3():
+    """A trained tiny GQA model (LLaMA-3-style architecture)."""
+    return load_zoo_model("tiny-llama-3")

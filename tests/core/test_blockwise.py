@@ -1,0 +1,151 @@
+"""Tests for block-wise mixed-precision activation quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blockwise import (
+    BlockConfig,
+    BlockPrecisionPlan,
+    assign_block_precisions,
+    dequantize_activation_blocks,
+    quantize_activation_blocks,
+)
+from repro.core.intquant import INT4, INT8, QuantSpec
+
+
+def small_config(block_size=8):
+    return BlockConfig(block_size=block_size)
+
+
+class TestBlockConfig:
+    def test_defaults_match_paper(self):
+        cfg = BlockConfig()
+        assert cfg.block_size == 128
+        assert cfg.low == INT4
+        assert cfg.high == INT8
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            BlockConfig(block_size=0)
+
+    def test_low_must_be_narrower(self):
+        with pytest.raises(ValueError):
+            BlockConfig(low=INT8, high=INT4)
+        with pytest.raises(ValueError):
+            BlockConfig(low=INT8, high=INT8)
+
+    def test_num_blocks(self):
+        assert small_config(8).num_blocks(32) == 4
+
+    def test_indivisible_channels_rejected(self):
+        with pytest.raises(ValueError):
+            small_config(8).num_blocks(30)
+
+
+class TestPrecisionAssignment:
+    def test_outlier_block_goes_high(self):
+        mask = np.zeros(32, dtype=bool)
+        mask[5] = True  # block 0 with block_size 8
+        plan = assign_block_precisions(mask, small_config(8))
+        np.testing.assert_array_equal(plan.is_high, [True, False, False, False])
+
+    def test_fractions(self):
+        mask = np.zeros(32, dtype=bool)
+        mask[0] = True
+        plan = assign_block_precisions(mask, small_config(8))
+        assert plan.high_fraction == 0.25
+        assert plan.low_fraction == 0.75
+
+    def test_spec_lookup(self):
+        mask = np.zeros(16, dtype=bool)
+        mask[0] = True
+        plan = assign_block_precisions(mask, small_config(8))
+        assert plan.spec_for_block(0) == INT8
+        assert plan.spec_for_block(1) == INT4
+
+    def test_all_clear(self):
+        plan = assign_block_precisions(np.zeros(16, dtype=bool), small_config(8))
+        assert plan.high_fraction == 0.0
+        assert plan.num_channels == 16
+
+
+class TestQuantizeRoundtrip:
+    def _plan(self, is_high, block_size=8):
+        return BlockPrecisionPlan(
+            config=small_config(block_size), is_high=np.asarray(is_high)
+        )
+
+    def test_shapes(self):
+        plan = self._plan([False, True])
+        x = np.random.default_rng(0).normal(size=(4, 16))
+        qact = quantize_activation_blocks(x, plan)
+        assert qact.codes.shape == (4, 16)
+        assert qact.scales.shape == (4, 2)
+        assert qact.num_tokens == 4
+
+    def test_channel_mismatch_rejected(self):
+        plan = self._plan([False])
+        with pytest.raises(ValueError):
+            quantize_activation_blocks(np.ones((2, 9)), plan)
+
+    def test_preserves_leading_shape(self):
+        plan = self._plan([False, False])
+        x = np.random.default_rng(1).normal(size=(2, 3, 16))
+        qact = quantize_activation_blocks(x, plan)
+        recon = dequantize_activation_blocks(qact)
+        assert recon.shape == (2, 3, 16)
+
+    def test_int8_blocks_lower_error(self):
+        """High-precision blocks reconstruct strictly better on average."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(64, 16))
+        plan_lo = self._plan([False, False])
+        plan_hi = self._plan([True, True])
+        err_lo = np.mean((dequantize_activation_blocks(
+            quantize_activation_blocks(x, plan_lo)) - x) ** 2)
+        err_hi = np.mean((dequantize_activation_blocks(
+            quantize_activation_blocks(x, plan_hi)) - x) ** 2)
+        assert err_hi < err_lo / 8
+
+    def test_int4_codes_within_range(self):
+        plan = self._plan([False])
+        x = np.random.default_rng(3).normal(size=(10, 8)) * 100
+        qact = quantize_activation_blocks(x, plan)
+        assert qact.codes.min() >= -8
+        assert qact.codes.max() <= 7
+
+    def test_outlier_isolation(self):
+        """An outlier confined to a high block doesn't hurt low blocks."""
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(32, 16))
+        x[:, 0] *= 100.0  # outlier channel in block 0
+        plan = self._plan([True, False])
+        qact = quantize_activation_blocks(x, plan)
+        recon = dequantize_activation_blocks(qact)
+        normal_err = np.mean((recon[:, 8:] - x[:, 8:]) ** 2)
+        # Normal block error is independent of the outlier and small.
+        per_token_step = np.abs(x[:, 8:]).max(axis=1) / 7
+        assert normal_err <= np.mean((per_token_step / 2) ** 2) + 1e-6
+
+    @given(
+        st.integers(1, 6),
+        st.integers(1, 4),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_error_bound_property(self, tokens, nblocks, seed):
+        rng = np.random.default_rng(seed)
+        bs = 8
+        x = rng.normal(size=(tokens, nblocks * bs)).astype(np.float32) * 10
+        is_high = rng.random(nblocks) < 0.5
+        plan = BlockPrecisionPlan(config=small_config(bs), is_high=is_high)
+        qact = quantize_activation_blocks(x, plan)
+        recon = dequantize_activation_blocks(qact)
+        for b in range(nblocks):
+            spec: QuantSpec = plan.spec_for_block(b)
+            blk = x[:, b * bs : (b + 1) * bs]
+            rblk = recon[:, b * bs : (b + 1) * bs]
+            step = np.abs(blk).max(axis=1, keepdims=True) / spec.qmax
+            assert np.all(np.abs(blk - rblk) <= step / 2 + 1e-5)

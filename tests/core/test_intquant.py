@@ -1,0 +1,214 @@
+"""Unit and property tests for the integer quantization primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.intquant import (
+    INT4,
+    INT8,
+    QuantSpec,
+    asymmetric_scale_zero,
+    dequantize_asymmetric,
+    dequantize_symmetric,
+    pack_int4,
+    pack_int4_words,
+    quantization_error,
+    quantize_asymmetric,
+    quantize_symmetric,
+    symmetric_scale,
+    unpack_int4,
+    unpack_int4_words,
+)
+
+
+class TestQuantSpec:
+    def test_int4_range(self):
+        assert INT4.qmin == -8
+        assert INT4.qmax == 7
+        assert INT4.unsigned_qmax == 15
+        assert INT4.levels == 16
+
+    def test_int8_range(self):
+        assert INT8.qmin == -128
+        assert INT8.qmax == 127
+        assert INT8.unsigned_qmax == 255
+
+    def test_custom_width(self):
+        int2 = QuantSpec(bits=2)
+        assert int2.qmin == -2
+        assert int2.qmax == 1
+
+
+class TestSymmetric:
+    def test_scale_per_tensor(self):
+        x = np.array([[1.0, -2.0], [0.5, 4.0]])
+        s = symmetric_scale(x, INT8, axis=None)
+        assert s.shape == ()
+        assert np.isclose(s, 4.0 / 127)
+
+    def test_scale_per_row(self):
+        x = np.array([[1.0, -2.0], [0.5, 4.0]])
+        s = symmetric_scale(x, INT4, axis=-1)
+        assert s.shape == (2, 1)
+        np.testing.assert_allclose(s[:, 0], [2.0 / 7, 4.0 / 7], rtol=1e-6)
+
+    def test_roundtrip_exact_grid(self):
+        # Values exactly on the quantization grid reconstruct exactly.
+        s = np.float32(0.25)
+        codes = np.arange(INT4.qmin, INT4.qmax + 1, dtype=np.int8)
+        x = codes.astype(np.float32) * s
+        q = quantize_symmetric(x, s, INT4)
+        np.testing.assert_array_equal(q, codes)
+        np.testing.assert_allclose(dequantize_symmetric(q, s), x)
+
+    def test_clamps_to_range(self):
+        q = quantize_symmetric(np.array([100.0, -100.0]), np.float32(1.0), INT4)
+        assert q.max() == 7
+        assert q.min() == -8
+
+    def test_zero_tensor(self):
+        x = np.zeros((3, 4))
+        s = symmetric_scale(x, INT8, axis=-1)
+        assert np.all(s > 0)
+        q = quantize_symmetric(x, s, INT8)
+        assert np.all(q == 0)
+
+    def test_clip_ratio_shrinks_scale(self):
+        x = np.random.default_rng(0).normal(size=(8, 8))
+        full = symmetric_scale(x, INT4)
+        clipped = symmetric_scale(x, INT4, clip_ratio=0.5)
+        assert clipped < full
+
+    def test_bad_clip_ratio(self):
+        with pytest.raises(ValueError):
+            symmetric_scale(np.ones(4), INT4, clip_ratio=0.0)
+        with pytest.raises(ValueError):
+            symmetric_scale(np.ones(4), INT4, clip_ratio=1.5)
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            hnp.array_shapes(min_dims=1, max_dims=3, max_side=16),
+            elements=st.floats(-1e4, 1e4, allow_nan=False),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_error_bounded_by_half_step(self, x):
+        s = symmetric_scale(x, INT8, axis=None)
+        q = quantize_symmetric(x, s, INT8)
+        recon = dequantize_symmetric(q, s)
+        # Round-to-nearest error is at most half a quantization step.
+        assert np.max(np.abs(x - recon)) <= float(s) / 2 + 1e-6
+
+
+class TestAsymmetric:
+    def test_scale_zero_basic(self):
+        x = np.array([0.0, 1.0, 2.0, 3.0])
+        scale, zero = asymmetric_scale_zero(x, INT4, axis=None)
+        assert zero == 0.0  # min is 0
+        assert np.isclose(scale, 3.0 / 15)
+
+    def test_negative_only_range(self):
+        x = np.array([-4.0, -1.0])
+        scale, zero = asymmetric_scale_zero(x, INT4, axis=None)
+        q = quantize_asymmetric(x, scale, zero, INT4)
+        recon = dequantize_asymmetric(q, scale, zero)
+        assert np.max(np.abs(recon - x)) <= scale / 2 + 1e-6
+
+    def test_roundtrip_per_axis(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(10, 6)) + 3.0
+        scale, zero = asymmetric_scale_zero(x, INT8, axis=0)
+        q = quantize_asymmetric(x, scale, zero, INT8)
+        recon = dequantize_asymmetric(q, scale, zero)
+        assert np.max(np.abs(recon - x)) <= float(scale.max()) / 2 + 1e-6
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 12), st.integers(1, 12)),
+            elements=st.floats(-100, 100, allow_nan=False),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_codes_in_unsigned_range(self, x):
+        scale, zero = asymmetric_scale_zero(x, INT4, axis=-1)
+        q = quantize_asymmetric(x, scale, zero, INT4)
+        assert q.min() >= 0
+        assert q.max() <= INT4.unsigned_qmax
+
+
+class TestPacking:
+    def test_nibble_roundtrip(self):
+        codes = np.arange(-8, 8, dtype=np.int8)
+        packed = pack_int4(codes)
+        assert packed.dtype == np.uint8
+        assert packed.shape == (8,)
+        np.testing.assert_array_equal(unpack_int4(packed), codes)
+
+    def test_nibble_roundtrip_2d(self):
+        rng = np.random.default_rng(2)
+        codes = rng.integers(-8, 8, size=(5, 16)).astype(np.int8)
+        np.testing.assert_array_equal(unpack_int4(pack_int4(codes)), codes)
+
+    def test_nibble_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            pack_int4(np.zeros(3, dtype=np.int8))
+
+    def test_nibble_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pack_int4(np.array([8, 0], dtype=np.int8))
+
+    def test_word_roundtrip(self):
+        codes = np.array([-8, -1, 0, 7, 1, 2, 3, 4], dtype=np.int8)
+        words = pack_int4_words(codes)
+        assert words.dtype == np.uint16
+        assert words.shape == (2,)
+        np.testing.assert_array_equal(unpack_int4_words(words), codes)
+
+    def test_word_layout_little_endian_nibbles(self):
+        # Value 4i+j sits at bits [4j, 4j+4).
+        words = pack_int4_words(np.array([1, 2, 3, 4], dtype=np.int8))
+        assert words[0] == (1 | (2 << 4) | (3 << 8) | (4 << 12))
+
+    def test_word_length_rejected(self):
+        with pytest.raises(ValueError):
+            pack_int4_words(np.zeros(6, dtype=np.int8))
+
+    @given(
+        hnp.arrays(
+            np.int8,
+            st.tuples(st.integers(1, 6), st.integers(1, 8).map(lambda n: n * 4)),
+            elements=st.integers(-8, 7),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_word_roundtrip_property(self, codes):
+        np.testing.assert_array_equal(
+            unpack_int4_words(pack_int4_words(codes)), codes
+        )
+
+    @given(
+        hnp.arrays(
+            np.int8,
+            st.tuples(st.integers(1, 6), st.integers(1, 16).map(lambda n: n * 2)),
+            elements=st.integers(-8, 7),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_nibble_roundtrip_property(self, codes):
+        np.testing.assert_array_equal(unpack_int4(pack_int4(codes)), codes)
+
+
+class TestQuantizationError:
+    def test_zero_for_identical(self):
+        x = np.ones((3, 3))
+        assert quantization_error(x, x) == 0.0
+
+    def test_mse_value(self):
+        assert np.isclose(
+            quantization_error(np.array([1.0, 2.0]), np.array([0.0, 2.0])), 0.5
+        )

@@ -1,0 +1,138 @@
+"""Tests for the KV4 quantized cache."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intquant import INT8
+from repro.core.kvquant import KVQuantConfig, QuantizedKVCache
+
+
+def _tokens(n, heads=2, dim=8, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(scale=scale, size=(heads, dim)).astype(np.float32) for _ in range(n)]
+
+
+class TestKVQuantConfig:
+    def test_defaults(self):
+        cfg = KVQuantConfig()
+        assert cfg.spec.bits == 4
+        assert cfg.granularity == "per_channel"
+        assert cfg.enabled
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            KVQuantConfig(granularity="per_block")
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ValueError):
+            KVQuantConfig(group_size=0)
+
+    def test_bytes_per_value_fp16(self):
+        assert KVQuantConfig(enabled=False).bytes_per_value == 2.0
+
+    def test_bytes_per_value_kv4_less_than_fp16(self):
+        cfg = KVQuantConfig()
+        assert cfg.bytes_per_value < 1.0  # ~0.5 + overhead
+
+    def test_kv4_compression_near_4x(self):
+        cfg = KVQuantConfig(group_size=64)
+        assert 3.0 < 2.0 / cfg.bytes_per_value < 4.0
+
+
+class TestQuantizedKVCache:
+    def test_empty_cache(self):
+        cache = QuantizedKVCache(KVQuantConfig())
+        assert len(cache) == 0
+        assert cache.dequantized().shape == (0,)
+        assert cache.memory_bytes() == 0.0
+
+    def test_shape_consistency_enforced(self):
+        cache = QuantizedKVCache(KVQuantConfig())
+        cache.append(np.zeros((2, 4), dtype=np.float32))
+        with pytest.raises(ValueError):
+            cache.append(np.zeros((2, 5), dtype=np.float32))
+
+    def test_disabled_cache_is_lossless(self):
+        cache = QuantizedKVCache(KVQuantConfig(enabled=False))
+        toks = _tokens(5)
+        for t in toks:
+            cache.append(t)
+        np.testing.assert_allclose(cache.dequantized(), np.stack(toks))
+
+    @pytest.mark.parametrize("granularity", ["per_channel", "per_token"])
+    def test_roundtrip_error_small(self, granularity):
+        cfg = KVQuantConfig(granularity=granularity, group_size=4)
+        cache = QuantizedKVCache(cfg)
+        toks = _tokens(16, seed=3)
+        for t in toks:
+            cache.append(t)
+        recon = cache.dequantized()
+        ref = np.stack(toks)
+        assert recon.shape == ref.shape
+        rel = np.linalg.norm(recon - ref) / np.linalg.norm(ref)
+        assert rel < 0.15  # INT4 keeps relative error modest
+
+    def test_int8_much_more_accurate_than_int4(self):
+        toks = _tokens(12, seed=4)
+        errs = {}
+        for spec_bits, spec in ((4, None), (8, INT8)):
+            cfg = (
+                KVQuantConfig(group_size=4)
+                if spec is None
+                else KVQuantConfig(spec=INT8, group_size=4)
+            )
+            cache = QuantizedKVCache(cfg)
+            for t in toks:
+                cache.append(t)
+            errs[spec_bits] = np.linalg.norm(cache.dequantized() - np.stack(toks))
+        assert errs[8] < errs[4] / 4
+
+    def test_pending_tail_handled(self):
+        """Tokens not yet forming a full group still dequantize correctly."""
+        cfg = KVQuantConfig(group_size=8)
+        cache = QuantizedKVCache(cfg)
+        toks = _tokens(3, seed=5)  # fewer than group_size
+        for t in toks:
+            cache.append(t)
+        recon = cache.dequantized()
+        assert recon.shape == (3, 2, 8)
+        rel = np.linalg.norm(recon - np.stack(toks)) / np.linalg.norm(np.stack(toks))
+        assert rel < 0.15
+
+    def test_sealed_groups_are_stable(self):
+        """Sealed group codes don't change as more tokens arrive."""
+        cfg = KVQuantConfig(group_size=2)
+        cache = QuantizedKVCache(cfg)
+        toks = _tokens(2, seed=6)
+        for t in toks:
+            cache.append(t)
+        first = cache.dequantized().copy()
+        cache.append(_tokens(1, seed=7, scale=100.0)[0])  # later outlier token
+        second = cache.dequantized()
+        np.testing.assert_allclose(second[:2], first)
+
+    def test_memory_accounting(self):
+        cfg = KVQuantConfig(group_size=64)
+        cache = QuantizedKVCache(cfg)
+        for t in _tokens(10):
+            cache.append(t)
+        fp16_cache = QuantizedKVCache(KVQuantConfig(enabled=False))
+        for t in _tokens(10):
+            fp16_cache.append(t)
+        assert cache.memory_bytes() < fp16_cache.memory_bytes() / 3
+
+    @given(
+        st.integers(1, 20),
+        st.integers(1, 8),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_length_invariant_property(self, n, group, seed):
+        cfg = KVQuantConfig(group_size=group)
+        cache = QuantizedKVCache(cfg)
+        for t in _tokens(n, seed=seed):
+            cache.append(t)
+        assert len(cache) == n
+        assert cache.dequantized().shape[0] == n

@@ -1,0 +1,175 @@
+"""Tests for outlier detection and channel permutation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.outliers import (
+    collect_channel_stats,
+    outlier_channel_mask,
+    outlier_ratio,
+)
+from repro.core.permutation import (
+    ChannelPermutation,
+    identity_permutation,
+    outlier_clustering_permutation,
+)
+
+
+def _activations_with_outliers(channels=64, outlier_channels=(3, 17, 40), seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(scale=1.0, size=(256, channels))
+    for ch in outlier_channels:
+        x[:, ch] *= 50.0
+    return x
+
+
+class TestOutlierDetection:
+    def test_detects_planted_outliers(self):
+        planted = (3, 17, 40)
+        x = _activations_with_outliers(outlier_channels=planted)
+        stats = collect_channel_stats(x)
+        mask = outlier_channel_mask(stats)
+        assert set(np.flatnonzero(mask)) == set(planted)
+
+    def test_no_outliers_in_uniform_data(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(128, 32))
+        mask = outlier_channel_mask(collect_channel_stats(x))
+        assert not mask.any()
+
+    def test_stats_shapes(self):
+        x = _activations_with_outliers(channels=48)
+        stats = collect_channel_stats(x)
+        assert stats.num_channels == 48
+        assert stats.absmax.shape == (48,)
+        assert stats.mean_abs.shape == (48,)
+        assert stats.p99.shape == (48,)
+
+    def test_stats_flatten_leading_axes(self):
+        x = _activations_with_outliers(
+            channels=16, outlier_channels=(3,)
+        ).reshape(8, 32, 16)
+        stats = collect_channel_stats(x)
+        assert stats.num_channels == 16
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            collect_channel_stats(np.ones(10))
+
+    def test_threshold_must_exceed_one(self):
+        stats = collect_channel_stats(np.ones((4, 4)))
+        with pytest.raises(ValueError):
+            outlier_channel_mask(stats, threshold_multiplier=1.0)
+
+    def test_all_zero_activations(self):
+        stats = collect_channel_stats(np.zeros((8, 8)))
+        mask = outlier_channel_mask(stats)
+        assert not mask.any()
+
+    def test_outlier_ratio(self):
+        assert outlier_ratio(np.array([True, False, False, False])) == 0.25
+        assert outlier_ratio(np.array([], dtype=bool)) == 0.0
+
+    def test_paper_scale_ratio_under_one_percent(self):
+        # Paper Section 3.1: usually < 1% of channels are outliers.  Check
+        # the detector recovers a 1%-planted structure at realistic width.
+        channels = 1024
+        planted = (5, 300, 777, 1000)
+        x = _activations_with_outliers(channels=channels, outlier_channels=planted)
+        mask = outlier_channel_mask(collect_channel_stats(x))
+        assert set(np.flatnonzero(mask)) == set(planted)
+        assert outlier_ratio(mask) < 0.01
+
+
+class TestChannelPermutation:
+    def test_identity(self):
+        perm = identity_permutation(8)
+        assert perm.is_identity()
+        x = np.arange(8.0)
+        np.testing.assert_array_equal(perm.apply_to_activation(x), x)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            ChannelPermutation(np.array([0, 0, 1]))
+
+    def test_inverse_roundtrip(self):
+        perm = ChannelPermutation(np.array([2, 0, 3, 1]))
+        x = np.random.default_rng(0).normal(size=(5, 4))
+        np.testing.assert_allclose(
+            perm.undo_activation(perm.apply_to_activation(x)), x
+        )
+
+    def test_weight_shape_mismatch(self):
+        perm = identity_permutation(4)
+        with pytest.raises(ValueError):
+            perm.apply_to_weight(np.ones((3, 5)))
+
+    def test_computational_equivalence(self):
+        """Permuting activations and weights together preserves x @ W.T."""
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(6, 16))
+        w = rng.normal(size=(10, 16))
+        perm = ChannelPermutation(rng.permutation(16))
+        ref = x @ w.T
+        got = perm.apply_to_activation(x) @ perm.apply_to_weight(w).T
+        np.testing.assert_allclose(got, ref, rtol=1e-6, atol=1e-8)
+
+    @given(st.integers(2, 64), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(3, n))
+        w = rng.normal(size=(4, n))
+        perm = ChannelPermutation(rng.permutation(n))
+        np.testing.assert_allclose(
+            perm.apply_to_activation(x) @ perm.apply_to_weight(w).T,
+            x @ w.T,
+            rtol=1e-5,
+            atol=1e-7,
+        )
+
+
+class TestOutlierClustering:
+    def test_outliers_moved_to_front(self):
+        mask = np.zeros(16, dtype=bool)
+        mask[[2, 9, 14]] = True
+        perm = outlier_clustering_permutation(mask)
+        front = perm.forward[:3]
+        assert set(front.tolist()) == {2, 9, 14}
+
+    def test_score_ordering(self):
+        mask = np.zeros(8, dtype=bool)
+        mask[[1, 5]] = True
+        scores = np.zeros(8)
+        scores[1] = 10.0
+        scores[5] = 99.0
+        perm = outlier_clustering_permutation(mask, scores)
+        assert perm.forward[0] == 5
+        assert perm.forward[1] == 1
+
+    def test_normal_channels_keep_order(self):
+        mask = np.zeros(6, dtype=bool)
+        mask[3] = True
+        perm = outlier_clustering_permutation(mask)
+        np.testing.assert_array_equal(perm.forward, [3, 0, 1, 2, 4, 5])
+
+    def test_no_outliers_is_identity_order(self):
+        perm = outlier_clustering_permutation(np.zeros(5, dtype=bool))
+        np.testing.assert_array_equal(perm.forward, np.arange(5))
+
+    def test_score_length_mismatch(self):
+        with pytest.raises(ValueError):
+            outlier_clustering_permutation(np.zeros(4, dtype=bool), np.zeros(3))
+
+    def test_minimizes_outlier_blocks(self):
+        """Clustering confines n outliers to ceil(n/k) blocks."""
+        rng = np.random.default_rng(7)
+        channels, k = 256, 32
+        mask = np.zeros(channels, dtype=bool)
+        mask[rng.choice(channels, size=40, replace=False)] = True
+        perm = outlier_clustering_permutation(mask)
+        permuted = mask[perm.forward].reshape(-1, k)
+        blocks_with_outliers = int(permuted.any(axis=1).sum())
+        assert blocks_with_outliers == int(np.ceil(40 / k))

@@ -1,0 +1,82 @@
+"""Tests for outlier-threshold tuning."""
+
+import numpy as np
+import pytest
+
+from repro.core.blockwise import BlockConfig
+from repro.core.tuning import search_outlier_threshold
+
+
+def calib_with_outliers(channels=128, outliers=(3, 70), gain=50.0, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(256, channels)).astype(np.float32)
+    for ch in outliers:
+        x[:, ch] *= gain
+    return x
+
+
+class TestSearchOutlierThreshold:
+    def test_validation(self):
+        x = calib_with_outliers()
+        with pytest.raises(ValueError):
+            search_outlier_threshold(x, min_w4a4_fraction=1.5)
+        with pytest.raises(ValueError):
+            search_outlier_threshold(x, grid=())
+
+    def test_meets_target_fraction(self):
+        x = calib_with_outliers()
+        block = BlockConfig(block_size=16)
+        best, candidates = search_outlier_threshold(
+            x, block, min_w4a4_fraction=0.75
+        )
+        chosen = next(c for c in candidates if c.threshold == best)
+        assert chosen.w4a4_fraction >= 0.75
+
+    def test_prefers_lower_mse_among_feasible(self):
+        x = calib_with_outliers()
+        block = BlockConfig(block_size=16)
+        best, candidates = search_outlier_threshold(
+            x, block, min_w4a4_fraction=0.5
+        )
+        chosen = next(c for c in candidates if c.threshold == best)
+        feasible = [c for c in candidates if c.w4a4_fraction >= 0.5]
+        assert chosen.reconstruction_mse == min(
+            c.reconstruction_mse for c in feasible
+        )
+
+    def test_detects_planted_outliers_at_chosen_threshold(self):
+        x = calib_with_outliers(outliers=(3, 70, 100))
+        best, candidates = search_outlier_threshold(
+            x, BlockConfig(block_size=16), min_w4a4_fraction=0.5
+        )
+        chosen = next(c for c in candidates if c.threshold == best)
+        assert chosen.num_outlier_channels >= 3
+
+    def test_no_outliers_all_thresholds_equal(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(128, 64)).astype(np.float32)
+        best, candidates = search_outlier_threshold(
+            x, BlockConfig(block_size=16)
+        )
+        # Clean data: every threshold gives 100% W4A4.
+        assert all(c.w4a4_fraction == 1.0 for c in candidates if c.threshold >= 4)
+
+    def test_impossible_target_returns_best_effort(self):
+        # With outliers scattered in every block, high W4A4 targets are
+        # unreachable at huge thresholds only.
+        x = calib_with_outliers(channels=32, outliers=tuple(range(0, 32, 4)))
+        best, candidates = search_outlier_threshold(
+            x, BlockConfig(block_size=8), min_w4a4_fraction=0.999
+        )
+        chosen = next(c for c in candidates if c.threshold == best)
+        assert chosen.w4a4_fraction == max(c.w4a4_fraction for c in candidates)
+
+    def test_mse_monotone_tradeoff(self):
+        """Lower thresholds (more INT8) never reconstruct worse."""
+        x = calib_with_outliers()
+        _, candidates = search_outlier_threshold(x, BlockConfig(block_size=16))
+        by_threshold = sorted(candidates, key=lambda c: c.threshold)
+        mses = [c.reconstruction_mse for c in by_threshold]
+        fracs = [c.w4a4_fraction for c in by_threshold]
+        assert all(a <= b + 1e-9 for a, b in zip(mses, mses[1:]))
+        assert all(a <= b + 1e-9 for a, b in zip(fracs, fracs[1:]))

@@ -1,0 +1,102 @@
+"""Tests for INT4 weight quantization with clip search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intquant import INT8
+from repro.core.weightquant import QuantizedWeight, quantize_weight
+
+
+def rand_weight(out_f=16, in_f=32, seed=0):
+    return np.random.default_rng(seed).normal(size=(out_f, in_f)).astype(np.float32)
+
+
+class TestQuantizeWeight:
+    def test_shapes(self):
+        qw = quantize_weight(rand_weight(), group_size=8)
+        assert qw.codes.shape == (16, 32)
+        assert qw.scales.shape == (16, 4)
+        assert qw.num_groups == 4
+        assert qw.out_features == 16
+        assert qw.in_features == 32
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            quantize_weight(np.ones((2, 3, 4)), group_size=2)
+
+    def test_rejects_indivisible_groups(self):
+        with pytest.raises(ValueError):
+            quantize_weight(rand_weight(4, 10), group_size=4)
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            quantize_weight(rand_weight(), group_size=8, clip_grid=())
+
+    def test_reconstruction_error_small(self):
+        w = rand_weight()
+        qw = quantize_weight(w, group_size=8)
+        recon = qw.dequantize()
+        rel = np.linalg.norm(recon - w) / np.linalg.norm(w)
+        assert rel < 0.08  # INT4 group quantization keeps ~5% relative error
+
+    def test_clip_search_never_worse_than_no_clip(self):
+        w = rand_weight(seed=5)
+        # Add heavy per-group tails, where clipping helps.
+        w[0, 0] = 25.0
+        err_noclip = np.mean(
+            (quantize_weight(w, 8, clip_grid=(1.0,)).dequantize() - w) ** 2
+        )
+        err_clip = np.mean((quantize_weight(w, 8).dequantize() - w) ** 2)
+        assert err_clip <= err_noclip + 1e-12
+
+    def test_clip_helps_gaussian_at_realistic_group_size(self):
+        # At group size 128 the group absmax sits ~2.8 sigma out while most
+        # mass is within 2 sigma, so MSE-optimal clipping shrinks the step.
+        rng = np.random.default_rng(9)
+        w = rng.normal(size=(8, 256)).astype(np.float32)
+        err_noclip = np.mean(
+            (quantize_weight(w, 128, clip_grid=(1.0,)).dequantize() - w) ** 2
+        )
+        err_clip = np.mean(
+            (
+                quantize_weight(w, 128, clip_grid=(1.0, 0.9, 0.8, 0.7)).dequantize()
+                - w
+            )
+            ** 2
+        )
+        assert err_clip < err_noclip * 0.9
+
+    def test_int8_mode(self):
+        w = rand_weight()
+        qw = quantize_weight(w, group_size=8, spec=INT8)
+        assert qw.codes.max() <= 127
+        rel = np.linalg.norm(qw.dequantize() - w) / np.linalg.norm(w)
+        assert rel < 0.005
+
+    def test_packed_roundtrip(self):
+        qw = quantize_weight(rand_weight(), group_size=8)
+        packed = qw.packed_nibbles()
+        rebuilt = QuantizedWeight.from_packed(packed, qw.scales, qw.group_size)
+        np.testing.assert_array_equal(rebuilt.codes, qw.codes)
+        np.testing.assert_allclose(rebuilt.dequantize(), qw.dequantize())
+
+    def test_memory_bytes(self):
+        qw = quantize_weight(rand_weight(16, 32), group_size=8)
+        # 16*32 int4 codes = 256 B, 16*4 fp16 scales = 128 B.
+        assert qw.memory_bytes() == 256 + 128
+
+    @given(st.integers(1, 8), st.integers(1, 4), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_error_bound_property(self, out_f, groups, seed):
+        g = 8
+        rng = np.random.default_rng(seed)
+        w = rng.normal(size=(out_f, groups * g)).astype(np.float32)
+        qw = quantize_weight(w, group_size=g, clip_grid=(1.0,))
+        recon = qw.dequantize()
+        # Without clipping, error <= half step per group.
+        grouped = w.reshape(out_f, groups, g)
+        steps = np.abs(grouped).max(axis=-1) / 7
+        err = np.abs((recon - w).reshape(out_f, groups, g))
+        assert np.all(err <= steps[..., None] / 2 + 1e-5)

@@ -1,0 +1,126 @@
+"""Tests for GPU spec, memory models, and instruction costing."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.isa import MMA_SHAPES, StageTimes, conversion_time, mma_time
+from repro.gpu.memory import (
+    bank_conflict_degree,
+    global_load_time,
+    smem_load_time,
+)
+from repro.gpu.spec import A100_80G_SXM4, H100_SXM5, KNOWN_GPUS
+
+
+class TestGPUSpec:
+    def test_a100_paper_numbers(self):
+        """Section 2.3: 312/624/1248 T(FL)OPS, 78 TFLOPS CUDA, 2 TB/s."""
+        a = A100_80G_SXM4
+        assert a.tc_tput("fp16") == 312e12
+        assert a.tc_tput("int8") == 624e12
+        assert a.tc_tput("int4") == 1248e12
+        assert a.cuda_core_tput == 78e12
+        assert a.hbm_bandwidth == 2.0e12
+        assert a.num_sms == 108
+        assert a.shared_mem_per_sm == 164 * 1024
+
+    def test_int4_double_int8(self):
+        assert A100_80G_SXM4.tc_tput("int4") == 2 * A100_80G_SXM4.tc_tput("int8")
+
+    def test_h100_has_no_int4(self):
+        with pytest.raises(KeyError):
+            H100_SXM5.tc_tput("int4")
+
+    def test_per_sm_shares(self):
+        a = A100_80G_SXM4
+        assert a.tc_tput_per_sm("fp16") * a.num_sms == pytest.approx(312e12)
+        assert a.hbm_bw_per_sm * a.num_sms == pytest.approx(2.0e12)
+
+    def test_registry(self):
+        assert "A100-80G-SXM4" in KNOWN_GPUS
+
+
+class TestBankConflicts:
+    def test_conflict_free_sequential(self):
+        # 32 threads reading consecutive 4-byte words: one word per bank.
+        addrs = np.arange(32) * 4
+        assert bank_conflict_degree(addrs) == 1
+
+    def test_broadcast_same_word(self):
+        assert bank_conflict_degree(np.zeros(32, dtype=int)) == 1
+
+    def test_two_way_conflict(self):
+        # Stride of 64 words maps pairs onto the same bank.
+        addrs = np.arange(32) * 4 * 32  # every thread hits bank 0
+        assert bank_conflict_degree(addrs) == 32
+
+    def test_stride_two_conflict(self):
+        addrs = np.arange(32) * 4 * 2  # words 0,2,...,62: banks repeat at 32
+        assert bank_conflict_degree(addrs) == 2
+
+    def test_empty(self):
+        assert bank_conflict_degree(np.array([])) == 1
+
+
+class TestTimingPrimitives:
+    def test_global_load_fair_share(self):
+        a = A100_80G_SXM4
+        t_all = global_load_time(a, 1e6)
+        t_one = global_load_time(a, 1e6, active_sms=1)
+        assert t_all == pytest.approx(t_one * a.num_sms)
+
+    def test_global_load_validation(self):
+        with pytest.raises(ValueError):
+            global_load_time(A100_80G_SXM4, -1)
+
+    def test_smem_conflict_multiplies(self):
+        a = A100_80G_SXM4
+        assert smem_load_time(a, 1e3, 2.0) == pytest.approx(
+            2 * smem_load_time(a, 1e3)
+        )
+        with pytest.raises(ValueError):
+            smem_load_time(a, 1e3, 0.5)
+
+    def test_mma_time_precision_scaling(self):
+        a = A100_80G_SXM4
+        t_fp16 = mma_time(a, 128, 128, 128, "fp16")
+        t_int8 = mma_time(a, 128, 128, 128, "int8")
+        t_int4 = mma_time(a, 128, 128, 128, "int4")
+        assert t_fp16 == pytest.approx(2 * t_int8)
+        assert t_int8 == pytest.approx(2 * t_int4)
+
+    def test_mma_rounds_to_instruction_shape(self):
+        """A 2-row decode tile pays for the full 16-row mma instruction."""
+        a = A100_80G_SXM4
+        assert mma_time(a, 2, 128, 128, "int8") == mma_time(a, 16, 128, 128, "int8")
+        assert mma_time(a, 17, 128, 128, "int8") == mma_time(
+            a, 32, 128, 128, "int8"
+        )
+
+    def test_mma_shapes_table(self):
+        assert MMA_SHAPES["int8"] == (16, 8, 32)
+        assert MMA_SHAPES["int4"] == (16, 8, 64)
+
+    def test_conversion_time_scales(self):
+        a = A100_80G_SXM4
+        assert conversion_time(a, 1000, 10) == pytest.approx(
+            5 * conversion_time(a, 1000, 2)
+        )
+        with pytest.raises(ValueError):
+            conversion_time(a, -1, 2)
+
+
+class TestStageTimes:
+    def test_pipelined_is_max(self):
+        st = StageTimes(load=5.0, smem=1.0, convert=2.0, mma=3.0)
+        assert st.pipelined() == 5.0
+        st2 = StageTimes(load=1.0, smem=1.0, convert=2.0, mma=3.0)
+        assert st2.pipelined() == 4.0  # smem + mma
+
+    def test_serial_is_sum(self):
+        st = StageTimes(load=1.0, smem=2.0, convert=3.0, mma=4.0)
+        assert st.serial() == 10.0
+
+    def test_serial_at_least_pipelined(self):
+        st = StageTimes(load=1.5, smem=0.5, convert=2.5, mma=1.0)
+        assert st.serial() >= st.pipelined()

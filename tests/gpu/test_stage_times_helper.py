@@ -1,0 +1,52 @@
+"""Tests for the gpu.isa stage_times assembly helper."""
+
+import pytest
+
+from repro.gpu.isa import StageTimes, stage_times
+from repro.gpu.spec import A100_80G_SXM4
+
+
+class TestStageTimesHelper:
+    def test_assembles_all_stages(self):
+        st = stage_times(
+            A100_80G_SXM4,
+            load_bytes=1e6,
+            smem_bytes=1e5,
+            conflict_factor=2.0,
+            convert_values=1e4,
+            instructions_per_value=2.0,
+            m=128,
+            n=128,
+            k=128,
+            precision="int8",
+        )
+        assert isinstance(st, StageTimes)
+        assert st.load > 0
+        assert st.smem > 0
+        assert st.convert > 0
+        assert st.mma > 0
+
+    def test_zero_conversion(self):
+        st = stage_times(
+            A100_80G_SXM4, 1e6, 1e5, 1.0, 0.0, 0.0, 128, 128, 128, "int4"
+        )
+        assert st.convert == 0.0
+
+    def test_active_sms_raises_load(self):
+        common = dict(
+            smem_bytes=1e5, conflict_factor=1.0, convert_values=0.0,
+            instructions_per_value=0.0, m=128, n=128, k=128, precision="fp16",
+        )
+        all_sms = stage_times(A100_80G_SXM4, load_bytes=1e6, **common)
+        one_sm = stage_times(A100_80G_SXM4, load_bytes=1e6, active_sms=1, **common)
+        assert one_sm.load < all_sms.load
+
+    def test_convert_overlapped_only_between_pipelined_and_serial(self):
+        st = stage_times(
+            A100_80G_SXM4, 1e6, 1e5, 1.0, 1e5, 10.0, 128, 128, 128, "int8"
+        )
+        assert st.pipelined() <= st.convert_overlapped_only() <= st.serial()
+
+    def test_unknown_precision(self):
+        with pytest.raises(KeyError):
+            stage_times(A100_80G_SXM4, 1, 1, 1.0, 0, 0, 8, 8, 8, "int2")

@@ -1,0 +1,165 @@
+"""Tests for fast INT4->INT8 conversion and weight interleaving."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.intquant import pack_int4_words
+from repro.kernels.conversion import (
+    FAST_CONVERSION_SCALE_DIVISOR,
+    FAST_INSTRUCTIONS_PER_VALUE,
+    NAIVE_INSTRUCTIONS_PER_VALUE,
+    fast_int4to8,
+    fp4_to_int8_shift,
+    naive_int4to8,
+    pack_int4_words_swapped,
+)
+from repro.kernels.layout import (
+    deinterleave_from_ldmatrix,
+    interleave_for_ldmatrix,
+    interleaved_w4a8_thread_addresses,
+    ldmatrix_plan,
+    naive_w4a8_thread_addresses,
+)
+
+
+def int4_values(min_len=4, max_chunks=8, multiple=4):
+    return hnp.arrays(
+        np.int8,
+        st.integers(1, max_chunks).map(lambda n: n * multiple),
+        elements=st.integers(-8, 7),
+    )
+
+
+class TestNaiveConversion:
+    def test_roundtrip(self):
+        v = np.arange(-8, 8, dtype=np.int8)
+        assert (naive_int4to8(pack_int4_words(v)) == v).all()
+
+    @given(int4_values())
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, v):
+        np.testing.assert_array_equal(naive_int4to8(pack_int4_words(v)), v)
+
+
+class TestFastConversion:
+    def test_matches_naive_up_to_scale(self):
+        """Figure 7: fast path output = 16x the true value."""
+        v = np.arange(-8, 8, dtype=np.int8)
+        fast = fast_int4to8(pack_int4_words_swapped(v))
+        np.testing.assert_array_equal(
+            fast.astype(np.int16), v.astype(np.int16) * 16
+        )
+
+    @given(int4_values())
+    @settings(max_examples=50, deadline=None)
+    def test_scale_property(self, v):
+        fast = fast_int4to8(pack_int4_words_swapped(v))
+        naive = naive_int4to8(pack_int4_words(v))
+        np.testing.assert_array_equal(
+            fast.astype(np.int16),
+            naive.astype(np.int16) * int(FAST_CONVERSION_SCALE_DIVISOR),
+        )
+
+    def test_gemm_equivalence_after_scale_adjustment(self):
+        """A W4A8 GEMM using fast-converted weights with scale/16 matches
+        the exactly-converted GEMM."""
+        rng = np.random.default_rng(0)
+        w4 = rng.integers(-8, 8, size=(16, 32)).astype(np.int8)
+        a8 = rng.integers(-128, 128, size=(4, 32)).astype(np.int8)
+        scale = 0.02
+        exact = (a8.astype(np.int32) @ w4.astype(np.int32).T) * scale
+        fast_w = fast_int4to8(pack_int4_words_swapped(w4)).reshape(16, 32)
+        fast = (a8.astype(np.int32) @ fast_w.astype(np.int32).T) * (
+            scale / FAST_CONVERSION_SCALE_DIVISOR
+        )
+        np.testing.assert_allclose(fast, exact, rtol=1e-6)
+
+    def test_swapped_pack_validation(self):
+        with pytest.raises(ValueError):
+            pack_int4_words_swapped(np.zeros(3, dtype=np.int8))
+        with pytest.raises(ValueError):
+            pack_int4_words_swapped(np.array([9, 0, 0, 0], dtype=np.int8))
+
+    def test_instruction_accounting(self):
+        """The cost-model constants preserve the paper's 5x ratio."""
+        assert NAIVE_INSTRUCTIONS_PER_VALUE / FAST_INSTRUCTIONS_PER_VALUE == 5.0
+
+
+class TestFP4Conversion:
+    def test_known_values(self):
+        # e2m1: code = s e1 e0 m.  0b0000 = 0, 0b0001 = 0.5, 0b0010 = 1.0,
+        # 0b0011 = 1.5, 0b0100 = 2, 0b0101 = 3, 0b0110 = 4, 0b0111 = 6.
+        codes = np.arange(8, dtype=np.uint8)
+        vals = fp4_to_int8_shift(codes).astype(float) / 2.0
+        np.testing.assert_allclose(vals, [0, 0.5, 1.0, 1.5, 2, 3, 4, 6])
+
+    def test_sign_bit(self):
+        pos = fp4_to_int8_shift(np.array([0b0101], dtype=np.uint8))
+        neg = fp4_to_int8_shift(np.array([0b1101], dtype=np.uint8))
+        assert neg[0] == -pos[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fp4_to_int8_shift(np.array([16], dtype=np.uint8))
+
+
+class TestInterleaving:
+    def test_known_permutation(self):
+        v = np.arange(16, dtype=np.int8)
+        out = interleave_for_ldmatrix(v)
+        # [T0:0-3 | T1:0-3 | T0:4-7 | T1:4-7] where T0 = 0-7, T1 = 8-15.
+        expected = np.array([0, 1, 2, 3, 8, 9, 10, 11, 4, 5, 6, 7, 12, 13, 14, 15])
+        np.testing.assert_array_equal(out, expected)
+
+    @given(
+        hnp.arrays(
+            np.int8,
+            st.tuples(st.integers(1, 4), st.integers(1, 6).map(lambda n: n * 16)),
+            elements=st.integers(-8, 7),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, v):
+        np.testing.assert_array_equal(
+            deinterleave_from_ldmatrix(interleave_for_ldmatrix(v)), v
+        )
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            interleave_for_ldmatrix(np.zeros(15, dtype=np.int8))
+        with pytest.raises(ValueError):
+            deinterleave_from_ldmatrix(np.zeros(8, dtype=np.int8))
+
+
+class TestLdmatrixPlan:
+    def test_naive_needs_two_instructions(self):
+        plan = ldmatrix_plan(interleaved=False)
+        assert plan.instructions == 2
+
+    def test_interleaved_single_conflict_free(self):
+        plan = ldmatrix_plan(interleaved=True)
+        assert plan.instructions == 1
+        assert plan.passes_per_instruction == (1.0,)
+        assert plan.relative_cost == 1.0
+
+    def test_naive_costlier(self):
+        assert (
+            ldmatrix_plan(interleaved=False).relative_cost
+            > ldmatrix_plan(interleaved=True).relative_cost
+        )
+
+    def test_naive_has_bank_conflict(self):
+        plan = ldmatrix_plan(interleaved=False)
+        assert max(plan.passes_per_instruction) >= 2.0
+
+    def test_address_patterns(self):
+        naive = naive_w4a8_thread_addresses(8)
+        inter = interleaved_w4a8_thread_addresses(8)
+        assert naive.shape == (2, 8)
+        assert inter.shape == (1, 8)
+        # Interleaved accesses are 4-byte aligned and disjoint.
+        assert (inter % 4 == 0).all()
+        assert len(np.unique(inter)) == 8

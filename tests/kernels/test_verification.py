@@ -1,0 +1,30 @@
+"""Tests for the kernel self-verification harness."""
+
+import pytest
+
+from repro.kernels.verification import VerificationReport, verify_kernels
+
+
+class TestVerifyKernels:
+    def test_clean_installation_passes(self):
+        report = verify_kernels(cases=8, seed=3)
+        assert report.ok, report.summary()
+        assert report.numerics_cases == 8
+        assert report.timing_cases == 3
+        assert "OK" in report.summary()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            verify_kernels(cases=0)
+
+    def test_deterministic(self):
+        a = verify_kernels(cases=4, seed=7)
+        b = verify_kernels(cases=4, seed=7)
+        assert a.ok == b.ok
+        assert a.numerics_cases == b.numerics_cases
+
+    def test_failure_reporting_format(self):
+        report = VerificationReport(failures=["numerics x: packed != reference"])
+        assert not report.ok
+        assert "FAILED" in report.summary()
+        assert "packed != reference" in report.summary()

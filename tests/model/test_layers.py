@@ -1,0 +1,76 @@
+"""Direct unit tests for the Linear and RMSNorm building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.model.layers import Linear, RMSNorm
+
+
+class TestLinear:
+    def test_forward_matches_matmul(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(5, 7)).astype(np.float32)
+        lin = Linear(w)
+        x = rng.normal(size=(3, 7)).astype(np.float32)
+        np.testing.assert_allclose(lin(x), x @ w.T, rtol=1e-6)
+
+    def test_bias(self):
+        w = np.zeros((2, 3), dtype=np.float32)
+        b = np.array([1.0, -1.0], dtype=np.float32)
+        lin = Linear(w, bias=b)
+        out = lin(np.ones((4, 3), dtype=np.float32))
+        np.testing.assert_allclose(out, np.tile(b, (4, 1)))
+
+    def test_rejects_non_2d_weight(self):
+        with pytest.raises(ValueError):
+            Linear(np.zeros((2, 3, 4)))
+
+    def test_feature_properties(self):
+        lin = Linear(np.zeros((5, 7), dtype=np.float32))
+        assert lin.out_features == 5
+        assert lin.in_features == 7
+
+    def test_memory_bytes(self):
+        lin = Linear(np.zeros((4, 8), dtype=np.float32),
+                     bias=np.zeros(4, dtype=np.float32))
+        assert lin.memory_bytes() == 2 * (32 + 4)
+
+    def test_tap_sees_flattened_inputs(self):
+        lin = Linear(np.eye(4, dtype=np.float32))
+        seen = []
+        lin.tap = seen.append
+        lin(np.ones((2, 3, 4), dtype=np.float32))
+        assert len(seen) == 1
+        assert seen[0].shape == (6, 4)
+
+    def test_tap_none_by_default(self):
+        assert Linear(np.eye(2, dtype=np.float32)).tap is None
+
+    def test_higher_rank_inputs(self):
+        lin = Linear(np.eye(4, dtype=np.float32))
+        x = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+        np.testing.assert_allclose(lin(x), x)
+
+
+class TestRMSNormLayer:
+    def test_matches_functional(self):
+        from repro.model.tensorops import rms_norm
+
+        gain = np.array([1.0, 2.0, 0.5, 1.5], dtype=np.float32)
+        norm = RMSNorm(gain)
+        x = np.random.default_rng(1).normal(size=(6, 4)).astype(np.float32)
+        np.testing.assert_allclose(norm(x), rms_norm(x, gain))
+
+    def test_custom_eps(self):
+        norm = RMSNorm(np.ones(4), eps=1.0)
+        out = norm(np.zeros((1, 4)))
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_gain_mutable_for_injection(self):
+        """Outlier injection scales the gain in place; the layer must see
+        the updated values."""
+        gain = np.ones(4, dtype=np.float32)
+        norm = RMSNorm(gain)
+        norm.gain[2] *= 10.0
+        out = norm(np.ones((1, 4), dtype=np.float32))
+        assert out[0, 2] == pytest.approx(10.0 * out[0, 0])

@@ -1,0 +1,78 @@
+"""Tests for function-preserving outlier injection."""
+
+import numpy as np
+import pytest
+
+from repro.core.outliers import collect_channel_stats, outlier_channel_mask
+from repro.model.config import tiny_config
+from repro.model.outlier_injection import inject_outliers
+from repro.model.transformer import Transformer
+
+
+def fresh_model(seed=0, **cfg_kw):
+    return Transformer(tiny_config(**cfg_kw), seed=seed)
+
+
+class TestFunctionPreservation:
+    def test_logits_unchanged(self):
+        model = fresh_model()
+        tokens = np.array([1, 5, 9, 2, 6])
+        ref = model.forward(tokens)
+        inject_outliers(model, channels_per_site=2, gain=40.0)
+        got = model.forward(tokens)
+        np.testing.assert_allclose(got, ref, rtol=1e-3, atol=1e-4)
+
+    def test_logits_unchanged_gqa(self):
+        model = fresh_model(seed=2, n_heads=4, n_kv_heads=2)
+        tokens = np.array([3, 1, 4])
+        ref = model.forward(tokens)
+        inject_outliers(model, channels_per_site=1, gain=30.0)
+        np.testing.assert_allclose(model.forward(tokens), ref, rtol=1e-3, atol=1e-4)
+
+    def test_invalid_gain(self):
+        with pytest.raises(ValueError):
+            inject_outliers(fresh_model(), gain=1.0)
+
+
+class TestOutliersArePlanted:
+    def _captured(self, model, seed=0):
+        rng = np.random.default_rng(seed)
+        tokens = rng.integers(0, model.config.vocab_size, size=32)
+        with model.capture_linear_inputs() as store:
+            model.forward(tokens)
+        return {k: np.concatenate(v) for k, v in store.items()}
+
+    def test_all_sites_show_outliers(self):
+        model = fresh_model(seed=4)
+        plan = inject_outliers(model, channels_per_site=2, gain=50.0, seed=1)
+        acts = self._captured(model)
+        checks = {
+            "layers.0.attn.wq": plan.attn_input[0],
+            "layers.0.mlp.w_gate": plan.mlp_input[0],
+            "layers.0.mlp.w_down": plan.down_input[0],
+            "layers.0.attn.wo": plan.o_input[0],
+        }
+        for name, planted in checks.items():
+            stats = collect_channel_stats(acts[name])
+            mask = outlier_channel_mask(stats, threshold_multiplier=5.0)
+            detected = set(np.flatnonzero(mask))
+            assert set(np.asarray(planted).tolist()) <= detected, (
+                f"{name}: planted {planted} not detected in {sorted(detected)}"
+            )
+
+    def test_no_outliers_before_injection(self):
+        model = fresh_model(seed=5)
+        acts = self._captured(model)
+        stats = collect_channel_stats(acts["layers.0.attn.wq"])
+        mask = outlier_channel_mask(stats, threshold_multiplier=8.0)
+        assert mask.sum() == 0
+
+    def test_plan_records_every_block(self):
+        model = fresh_model()
+        plan = inject_outliers(model, channels_per_site=3, gain=20.0)
+        n = model.config.n_layers
+        assert len(plan.attn_input) == n
+        assert len(plan.mlp_input) == n
+        assert len(plan.down_input) == n
+        assert len(plan.o_input) == n
+        assert all(len(c) == 3 for c in plan.attn_input)

@@ -1,0 +1,106 @@
+"""Tests for rotary embeddings and model configs."""
+
+import numpy as np
+import pytest
+
+from repro.model.config import (
+    PAPER_MODELS,
+    ModelConfig,
+    get_model_config,
+    tiny_config,
+)
+from repro.model.rope import RotaryEmbedding, apply_rope
+
+
+class TestRotaryEmbedding:
+    def test_rejects_odd_head_dim(self):
+        with pytest.raises(ValueError):
+            RotaryEmbedding(head_dim=7, max_seq_len=16)
+
+    def test_position_zero_is_identity(self):
+        rope = RotaryEmbedding(8, 16)
+        x = np.random.default_rng(0).normal(size=(1, 2, 8)).astype(np.float32)
+        y = apply_rope(x, rope, np.array([0]))
+        np.testing.assert_allclose(y, x, atol=1e-6)
+
+    def test_preserves_norm(self):
+        rope = RotaryEmbedding(16, 64)
+        x = np.random.default_rng(1).normal(size=(5, 3, 16)).astype(np.float32)
+        y = apply_rope(x, rope, np.arange(5))
+        np.testing.assert_allclose(
+            np.linalg.norm(y, axis=-1), np.linalg.norm(x, axis=-1), rtol=1e-5
+        )
+
+    def test_relative_position_property(self):
+        """q.k after RoPE depends only on the position difference."""
+        rope = RotaryEmbedding(8, 128)
+        rng = np.random.default_rng(2)
+        q = rng.normal(size=(1, 1, 8)).astype(np.float32)
+        k = rng.normal(size=(1, 1, 8)).astype(np.float32)
+
+        def dot_at(pq, pk):
+            qr = apply_rope(q, rope, np.array([pq]))
+            kr = apply_rope(k, rope, np.array([pk]))
+            return float(np.sum(qr * kr))
+
+        assert dot_at(10, 7) == pytest.approx(dot_at(53, 50), rel=1e-4)
+
+    def test_position_overflow_rejected(self):
+        rope = RotaryEmbedding(8, 4)
+        x = np.zeros((1, 1, 8), dtype=np.float32)
+        with pytest.raises(ValueError):
+            apply_rope(x, rope, np.array([4]))
+
+
+class TestModelConfig:
+    def test_all_paper_models_registered(self):
+        expected = {
+            "llama-1-13b", "llama-1-30b", "llama-1-65b",
+            "llama-2-7b", "llama-2-13b", "llama-2-70b",
+            "llama-3-8b", "llama-3-70b",
+            "mistral-7b", "opt-13b", "qwen2-72b",
+        }
+        assert expected == set(PAPER_MODELS)
+
+    def test_llama3_8b_shapes(self):
+        cfg = get_model_config("llama-3-8b")
+        assert cfg.d_model == 4096
+        assert cfg.n_kv_heads == 8
+        assert cfg.head_dim == 128
+        assert cfg.kv_dim == 1024
+        shapes = cfg.linear_shapes()
+        assert shapes["wq"] == (4096, 4096)
+        assert shapes["wk"] == (1024, 4096)
+        assert shapes["w_gate"] == (14336, 4096)
+        assert shapes["w_down"] == (4096, 14336)
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_model_config("gpt-5")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModelConfig("x", 10, 30, 1, 4, 4, 10)  # 30 % 4 != 0
+        with pytest.raises(ValueError):
+            ModelConfig("x", 10, 32, 1, 4, 3, 10)  # 4 % 3 != 0
+
+    def test_param_count_magnitude(self):
+        """Nominal parameter counts are in the right ballpark."""
+        for name, billions in [("llama-2-7b", 6.7), ("llama-3-70b", 70.6)]:
+            cfg = get_model_config(name)
+            estimated = cfg.weight_parameters() / 1e9
+            assert estimated == pytest.approx(billions, rel=0.25)
+
+    def test_kv_values_per_token(self):
+        cfg = get_model_config("llama-3-8b")
+        # 2 (K and V) * 32 layers * 1024 kv_dim
+        assert cfg.kv_values_per_token() == 2 * 32 * 1024
+
+    def test_tiny_config(self):
+        cfg = tiny_config()
+        assert cfg.head_dim * cfg.n_heads == cfg.d_model
+        assert cfg.gqa_group == 1
+
+    def test_tiny_gqa(self):
+        cfg = tiny_config(n_heads=4, n_kv_heads=2)
+        assert cfg.gqa_group == 2

@@ -1,0 +1,125 @@
+"""Tests for tensor operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.model.tensorops import (
+    causal_mask,
+    cross_entropy,
+    log_softmax,
+    rms_norm,
+    silu,
+    softmax,
+    swiglu,
+)
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        p = softmax(np.random.default_rng(0).normal(size=(3, 5)))
+        np.testing.assert_allclose(p.sum(axis=-1), 1.0, rtol=1e-5)
+
+    def test_shift_invariance(self):
+        x = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0), rtol=1e-6)
+
+    def test_handles_large_values(self):
+        p = softmax(np.array([1e4, 0.0]))
+        assert np.isfinite(p).all()
+        assert p[0] > 0.999
+
+    def test_log_softmax_consistent(self):
+        x = np.random.default_rng(1).normal(size=(4, 7))
+        np.testing.assert_allclose(
+            np.exp(log_softmax(x)), softmax(x), rtol=1e-5, atol=1e-7
+        )
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 5), st.integers(2, 10)),
+            elements=st.floats(-50, 50, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_probability_property(self, x):
+        p = softmax(x)
+        assert np.all(p >= 0)
+        np.testing.assert_allclose(p.sum(axis=-1), 1.0, rtol=1e-4)
+
+
+class TestRMSNorm:
+    def test_unit_gain_normalizes(self):
+        x = np.random.default_rng(2).normal(size=(10, 16)) * 7
+        y = rms_norm(x, np.ones(16))
+        rms = np.sqrt(np.mean(y * y, axis=-1))
+        np.testing.assert_allclose(rms, 1.0, atol=1e-3)
+
+    def test_gain_scales_channels(self):
+        x = np.ones((1, 4), dtype=np.float32)
+        gain = np.array([1.0, 2.0, 3.0, 4.0], dtype=np.float32)
+        y = rms_norm(x, gain)
+        np.testing.assert_allclose(y[0], gain, rtol=1e-5)
+
+    def test_zero_input_finite(self):
+        y = rms_norm(np.zeros((2, 8)), np.ones(8))
+        assert np.isfinite(y).all()
+
+
+class TestSilu:
+    def test_known_values(self):
+        np.testing.assert_allclose(silu(np.array([0.0])), [0.0])
+        assert silu(np.array([100.0]))[0] == pytest.approx(100.0, rel=1e-5)
+
+    def test_no_overflow_on_large_negative(self):
+        y = silu(np.array([-1e4], dtype=np.float32))
+        assert np.isfinite(y).all()
+
+    def test_swiglu(self):
+        g = np.array([1.0, -1.0])
+        u = np.array([2.0, 2.0])
+        np.testing.assert_allclose(swiglu(g, u), silu(g) * u)
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_near_zero(self):
+        logits = np.zeros((1, 4))
+        logits[0, 2] = 100.0
+        assert cross_entropy(logits, np.array([2])) < 1e-6
+
+    def test_uniform_is_log_vocab(self):
+        logits = np.zeros((5, 8))
+        assert cross_entropy(logits, np.zeros(5, dtype=int)) == pytest.approx(
+            np.log(8), rel=1e-5
+        )
+
+    def test_batch_shapes(self):
+        logits = np.random.default_rng(3).normal(size=(2, 3, 10))
+        targets = np.zeros((2, 3), dtype=int)
+        assert np.isfinite(cross_entropy(logits, targets))
+
+
+class TestCausalMask:
+    def test_square_mask(self):
+        m = causal_mask(3, 3)
+        assert m[0, 0] == 0
+        assert m[0, 1] == -np.inf
+        assert m[2, 2] == 0
+        assert (m[2] == 0).all()
+
+    def test_decode_mask_attends_everything(self):
+        m = causal_mask(1, 5)
+        assert (m == 0).all()
+
+    def test_offset_alignment(self):
+        m = causal_mask(2, 5)
+        # First query is position 3 of 5.
+        np.testing.assert_array_equal(m[0, :4], [0, 0, 0, 0])
+        assert m[0, 4] == -np.inf
+
+    def test_invalid_lengths(self):
+        with pytest.raises(ValueError):
+            causal_mask(4, 2)

@@ -1,0 +1,166 @@
+"""Tests for the transformer model, KV caching, and generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.kvquant import KVQuantConfig
+from repro.model.config import tiny_config
+from repro.model.generation import greedy_generate, sample_generate
+from repro.model.layers import Linear
+from repro.model.transformer import Transformer
+
+
+@pytest.fixture(scope="module")
+def model():
+    return Transformer(tiny_config(), seed=0)
+
+
+@pytest.fixture(scope="module")
+def gqa_model():
+    return Transformer(tiny_config(name="tiny-gqa", n_heads=4, n_kv_heads=2), seed=1)
+
+
+class TestForward:
+    def test_logits_shape(self, model):
+        logits = model.forward(np.array([1, 2, 3]))
+        assert logits.shape == (3, model.config.vocab_size)
+
+    def test_rejects_2d_tokens(self, model):
+        with pytest.raises(ValueError):
+            model.forward(np.zeros((2, 3), dtype=int))
+
+    def test_deterministic(self, model):
+        t = np.array([5, 6, 7, 8])
+        np.testing.assert_array_equal(model.forward(t), model.forward(t))
+
+    def test_causality(self, model):
+        """Changing a later token never changes earlier logits."""
+        a = model.forward(np.array([1, 2, 3, 4]))
+        b = model.forward(np.array([1, 2, 3, 9]))
+        np.testing.assert_allclose(a[:3], b[:3], atol=1e-5)
+        assert not np.allclose(a[3], b[3])
+
+    def test_gqa_forward(self, gqa_model):
+        logits = gqa_model.forward(np.array([1, 2, 3]))
+        assert logits.shape == (3, gqa_model.config.vocab_size)
+
+
+class TestKVCache:
+    def test_prefill_decode_matches_full_forward(self, model):
+        tokens = np.array([3, 1, 4, 1, 5, 9])
+        full = model.forward(tokens)
+        cache = model.new_cache()
+        prefill = model.forward(tokens[:4], cache)
+        np.testing.assert_allclose(prefill, full[:4], atol=1e-4)
+        step1 = model.forward(tokens[4:5], cache)
+        step2 = model.forward(tokens[5:6], cache)
+        np.testing.assert_allclose(step1[0], full[4], atol=1e-4)
+        np.testing.assert_allclose(step2[0], full[5], atol=1e-4)
+
+    def test_gqa_cache_consistency(self, gqa_model):
+        tokens = np.array([2, 7, 1, 8])
+        full = gqa_model.forward(tokens)
+        cache = gqa_model.new_cache()
+        gqa_model.forward(tokens[:3], cache)
+        step = gqa_model.forward(tokens[3:], cache)
+        np.testing.assert_allclose(step[0], full[3], atol=1e-4)
+
+    def test_kv4_cache_close_to_fp16(self, model):
+        tokens = np.array([3, 1, 4, 1, 5])
+        ref = model.forward(tokens)
+        cache = model.new_cache(KVQuantConfig(group_size=4))
+        model.forward(tokens[:4], cache)
+        step = model.forward(tokens[4:], cache)
+        # KV4 introduces bounded error but predictions stay close.
+        cos = np.dot(step[0], ref[4]) / (
+            np.linalg.norm(step[0]) * np.linalg.norm(ref[4])
+        )
+        assert cos > 0.99
+
+    def test_cache_memory_grows(self, model):
+        cache = model.new_cache(KVQuantConfig())
+        model.forward(np.array([1, 2, 3]), cache)
+        m1 = cache.memory_bytes()
+        model.forward(np.array([4]), cache)
+        assert cache.memory_bytes() > m1
+
+
+class TestLayerPlumbing:
+    def test_named_linears_complete(self, model):
+        names = model.named_linears()
+        assert len(names) == model.config.n_layers * 7
+        assert "layers.0.attn.wq" in names
+        assert "layers.1.mlp.w_down" in names
+        assert "lm_head" not in names
+
+    def test_replace_linear(self):
+        m = Transformer(tiny_config(), seed=3)
+        ref = m.forward(np.array([1, 2]))
+        old = m.named_linears()["layers.0.attn.wq"]
+        m.replace_linear("layers.0.attn.wq", Linear(old.weight * 0.0))
+        changed = m.forward(np.array([1, 2]))
+        assert not np.allclose(ref, changed)
+
+    def test_replace_unknown_linear(self, model):
+        with pytest.raises(KeyError):
+            model.replace_linear("layers.0.attn.bogus", None)
+        with pytest.raises(KeyError):
+            model.replace_linear("nonsense", None)
+
+    def test_capture_linear_inputs(self, model):
+        with model.capture_linear_inputs() as store:
+            model.forward(np.array([1, 2, 3]))
+        x = store["layers.0.attn.wq"]
+        assert len(x) == 1
+        assert x[0].shape == (3, model.config.d_model)
+        # Taps removed afterwards.
+        assert all(l.tap is None for l in model.named_linears().values())
+
+    def test_get_params_roundtrip(self, model):
+        params = model.get_params()
+        clone = Transformer(model.config, params=params)
+        t = np.array([9, 8, 7])
+        np.testing.assert_allclose(clone.forward(t), model.forward(t), atol=1e-6)
+
+    def test_param_count_positive(self, model):
+        assert model.param_count() > 10_000
+
+
+class TestGeneration:
+    def test_greedy_deterministic(self, model):
+        p = np.array([1, 2, 3])
+        a = greedy_generate(model, p, 5)
+        b = greedy_generate(model, p, 5)
+        np.testing.assert_array_equal(a, b)
+        assert a.shape == (5,)
+
+    def test_greedy_matches_cacheless_argmax(self, model):
+        prompt = np.array([4, 2])
+        out = greedy_generate(model, prompt, 3)
+        seq = prompt.copy()
+        for i in range(3):
+            logits = model.forward(seq)
+            nxt = int(np.argmax(logits[-1]))
+            assert nxt == out[i]
+            seq = np.append(seq, nxt)
+
+    def test_empty_prompt_rejected(self, model):
+        with pytest.raises(ValueError):
+            greedy_generate(model, np.array([], dtype=int), 3)
+
+    def test_kv4_generation_runs(self, model):
+        out = greedy_generate(
+            model, np.array([1, 2, 3]), 4, kv_config=KVQuantConfig(group_size=4)
+        )
+        assert out.shape == (4,)
+        assert ((0 <= out) & (out < model.config.vocab_size)).all()
+
+    def test_sampling_seeded(self, model):
+        p = np.array([1, 2])
+        a = sample_generate(model, p, 4, seed=7)
+        b = sample_generate(model, p, 4, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sampling_invalid_temperature(self, model):
+        with pytest.raises(ValueError):
+            sample_generate(model, np.array([1]), 2, temperature=0.0)

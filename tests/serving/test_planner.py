@@ -1,0 +1,73 @@
+"""Tests for the deployment planner."""
+
+import pytest
+
+from repro.model.config import get_model_config
+from repro.serving.planner import plan_deployment
+
+
+class TestPlanDeployment:
+    def test_validation(self):
+        cfg = get_model_config("llama-3-8b")
+        with pytest.raises(ValueError):
+            plan_deployment(cfg, 0, 8)
+        with pytest.raises(ValueError):
+            plan_deployment(cfg, 8, 8, num_gpus=0)
+
+    def test_recommends_comet_for_throughput(self):
+        cfg = get_model_config("llama-3-8b")
+        plan = plan_deployment(
+            cfg, prompt_len=128, out_len=64, max_batch=32,
+            probe_requests=16,
+        )
+        assert plan.best is not None
+        assert plan.best.system == "comet"
+        assert "deploy comet" in plan.summary()
+
+    def test_fp16_70b_rejected_on_one_gpu(self):
+        cfg = get_model_config("llama-3-70b")
+        plan = plan_deployment(
+            cfg, prompt_len=64, out_len=16, num_gpus=1, max_batch=4,
+            systems=("trtllm-fp16",),
+        )
+        assert plan.best is None
+        assert all(not c.feasible for c in plan.candidates)
+        assert "weights do not fit" in plan.candidates[0].rejected_reason
+        assert plan.summary() == "no feasible configuration found"
+
+    def test_fp16_70b_feasible_with_tp(self):
+        cfg = get_model_config("llama-3-70b")
+        plan = plan_deployment(
+            cfg, prompt_len=64, out_len=16, num_gpus=4, max_batch=4,
+            systems=("trtllm-fp16",),
+        )
+        assert plan.best is not None
+        assert plan.best.tensor_parallel == 4
+
+    def test_ttft_ceiling_filters(self):
+        cfg = get_model_config("llama-3-8b")
+        loose = plan_deployment(
+            cfg, prompt_len=256, out_len=32, max_batch=16,
+            probe_requests=8, systems=("comet",),
+        )
+        tight = plan_deployment(
+            cfg, prompt_len=256, out_len=32, max_batch=16,
+            probe_requests=8, systems=("comet",),
+            ttft_p95_ceiling=1e-6,
+        )
+        assert loose.best is not None
+        assert tight.best is None
+        rejected = [c for c in tight.candidates if not c.feasible]
+        assert any("ceiling" in c.rejected_reason for c in rejected)
+
+    def test_candidates_cover_grid(self):
+        cfg = get_model_config("llama-3-8b")
+        plan = plan_deployment(
+            cfg, prompt_len=64, out_len=16, num_gpus=2, max_batch=8,
+            probe_requests=4, systems=("comet", "trtllm-w4a16"),
+        )
+        combos = {(c.system, c.tensor_parallel) for c in plan.candidates}
+        assert combos == {
+            ("comet", 1), ("comet", 2),
+            ("trtllm-w4a16", 1), ("trtllm-w4a16", 2),
+        }

@@ -1,0 +1,145 @@
+"""Tests for prefix caching (block sharing + copy-on-write)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving.paged_kv import KVAllocationError, PagedKVManager
+
+
+def manager(blocks=16, block_tokens=4):
+    return PagedKVManager(
+        total_bytes=blocks * block_tokens * 2.0,
+        bytes_per_token=2.0,
+        block_tokens=block_tokens,
+    )
+
+
+class TestFork:
+    def test_full_block_sharing(self):
+        m = manager()
+        m.allocate(1, 8)  # 2 full blocks
+        used_before = m.used_blocks
+        assert m.fork(1, 2)
+        # Nothing copied: both blocks are full and shared.
+        assert m.used_blocks == used_before
+        assert m.sequence_tokens(2) == 8
+        assert m.block_refcount(1) == [2, 2]
+
+    def test_partial_tail_copied(self):
+        m = manager()
+        m.allocate(1, 6)  # 1 full + 1 partial block
+        assert m.fork(1, 2)
+        # The partial tail is copied: one extra physical block.
+        assert m.used_blocks == 3
+        assert m.block_refcount(1) == [2, 1]
+        assert m.block_refcount(2) == [2, 1]
+
+    def test_shared_prefix_shorter_than_parent(self):
+        m = manager()
+        m.allocate(1, 12)  # 3 blocks
+        assert m.fork(1, 2, shared_tokens=4)  # share 1 full block
+        assert m.sequence_tokens(2) == 4
+        assert m.block_refcount(2) == [2]
+
+    def test_validation(self):
+        m = manager()
+        m.allocate(1, 4)
+        with pytest.raises(KVAllocationError):
+            m.fork(9, 2)
+        with pytest.raises(KVAllocationError):
+            m.fork(1, 1)
+        with pytest.raises(ValueError):
+            m.fork(1, 2, shared_tokens=0)
+        with pytest.raises(ValueError):
+            m.fork(1, 2, shared_tokens=99)
+
+    def test_fork_fails_gracefully_when_full(self):
+        m = manager(blocks=2)
+        m.allocate(1, 6)  # uses both blocks (1 full + 1 partial)
+        assert not m.fork(1, 2)  # tail copy cannot fit
+        assert m.free_blocks == 0
+        with pytest.raises(KVAllocationError):
+            m.sequence_tokens(2)
+
+    def test_n_way_prompt_sharing_saves_memory(self):
+        """The headline win: N requests sharing a system prompt hold one
+        physical copy of its blocks."""
+        m = manager(blocks=16, block_tokens=4)
+        m.allocate(0, 8)  # 2-block system prompt
+        for child in range(1, 6):
+            assert m.fork(0, child)
+        # 6 logical sequences x 8 tokens = 12 logical blocks, 2 physical.
+        assert m.used_blocks == 2
+
+
+class TestCopyOnWrite:
+    def test_append_copies_shared_tail(self):
+        m = manager()
+        m.allocate(1, 6)
+        m.fork(1, 2)
+        # Child's tail block (its own copy) grows freely; parent's tail is
+        # private too, so appends need no CoW here.
+        assert m.append_token(2)
+        assert m.sequence_tokens(2) == 7
+
+    def test_cow_on_shared_full_block_growth(self):
+        m = manager(block_tokens=4)
+        m.allocate(1, 4)  # exactly one full block
+        m.fork(1, 2)      # fully shared, no copy
+        assert m.block_refcount(1) == [2]
+        # Growing either sequence allocates its own new block; the shared
+        # block itself is immutable history, so refcounts stay.
+        assert m.append_token(2)
+        assert m.block_refcount(2) == [2, 1]
+        assert m.sequence_tokens(1) == 4
+
+    def test_divergence_isolated(self):
+        m = manager()
+        m.allocate(1, 6)
+        m.fork(1, 2)
+        for _ in range(4):
+            m.append_token(2)
+        assert m.sequence_tokens(1) == 6
+        assert m.sequence_tokens(2) == 10
+
+    def test_free_order_independent(self):
+        m = manager()
+        m.allocate(1, 8)
+        m.fork(1, 2)
+        m.free(1)  # parent freed first; shared blocks survive
+        assert m.sequence_tokens(2) == 8
+        m.free(2)
+        assert m.free_blocks == m.num_blocks
+
+    def test_free_child_first(self):
+        m = manager()
+        m.allocate(1, 8)
+        m.fork(1, 2)
+        m.free(2)
+        assert m.sequence_tokens(1) == 8
+        m.free(1)
+        assert m.free_blocks == m.num_blocks
+
+
+class TestInvariants:
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_random_fork_append_free_conserves_blocks(self, seed, n_children):
+        rng = np.random.default_rng(seed)
+        m = manager(blocks=64, block_tokens=4)
+        assert m.allocate(0, int(rng.integers(1, 20)))
+        live = [0]
+        for child in range(1, n_children + 1):
+            parent = int(rng.choice(live))
+            if m.fork(parent, child):
+                live.append(child)
+        for _ in range(30):
+            sid = int(rng.choice(live))
+            if not m.append_token(sid):
+                break
+        for sid in live:
+            m.free(sid)
+        assert m.free_blocks == m.num_blocks
+        assert m._refcount == {}

@@ -1,0 +1,101 @@
+"""Tests for engine execution tracing."""
+
+import json
+
+import pytest
+
+from repro.model.config import get_model_config
+from repro.serving.engine import EngineConfig, ServingEngine
+from repro.serving.request import make_batch_requests
+from repro.serving.systems import build_system
+from repro.serving.trace import EngineTracer, StepTrace
+
+
+def traced_run(**cfg):
+    eng = ServingEngine(
+        get_model_config("llama-3-8b"), build_system("comet"),
+        config=EngineConfig(**cfg),
+    )
+    tracer = EngineTracer()
+    report = eng.run(make_batch_requests(4, 64, 8), tracer=tracer)
+    return report, tracer
+
+
+class TestEngineTracer:
+    def test_record_validation(self):
+        t = EngineTracer()
+        with pytest.raises(ValueError):
+            t.record(0.0, 1.0, "warmup", 1, 0, 0, 0)
+
+    def test_steps_cover_run(self):
+        report, tracer = traced_run(max_batch=4)
+        assert len(tracer.steps) > 0
+        # Traced time equals simulated time.
+        assert tracer.total_time() == pytest.approx(report.sim_seconds)
+        # 4 prefills + 8 decode steps.
+        kinds = [s.kind for s in tracer.steps]
+        assert kinds.count("prefill") == 4
+        assert kinds.count("decode") == 8
+
+    def test_steps_contiguous(self):
+        _, tracer = traced_run(max_batch=4)
+        for a, b in zip(tracer.steps, tracer.steps[1:]):
+            assert b.start == pytest.approx(a.end)
+        assert tracer.steps[0].index == 0
+        assert tracer.steps[-1].index == len(tracer.steps) - 1
+
+    def test_time_by_kind(self):
+        report, tracer = traced_run(max_batch=4)
+        by_kind = tracer.time_by_kind()
+        assert by_kind["prefill"] == pytest.approx(report.prefill_seconds)
+        assert by_kind["decode"] == pytest.approx(report.decode_seconds)
+
+    def test_chunked_prefill_traced_as_mixed(self):
+        eng = ServingEngine(
+            get_model_config("llama-3-8b"), build_system("comet"),
+            config=EngineConfig(max_batch=4, prefill_chunk_tokens=32),
+        )
+        from repro.serving.request import Request
+
+        tracer = EngineTracer()
+        reqs = [Request(0, 16, 8), Request(1, 128, 4, arrival_time=1e-9)]
+        eng.run(reqs, tracer=tracer)
+        kinds = {s.kind for s in tracer.steps}
+        assert "mixed" in kinds or "prefill" in kinds
+        mixed = [s for s in tracer.steps if s.kind == "mixed"]
+        assert all(s.prefill_tokens > 0 and s.decode_tokens > 0 for s in mixed)
+
+    def test_longest_step_and_curve(self):
+        _, tracer = traced_run(max_batch=4)
+        longest = tracer.longest_step()
+        assert longest is not None
+        assert longest.duration == max(s.duration for s in tracer.steps)
+        curve = tracer.tokens_per_second_curve(window=4)
+        assert len(curve) == len(tracer.steps)
+        assert all(v >= 0 for v in curve)
+        with pytest.raises(ValueError):
+            tracer.tokens_per_second_curve(window=0)
+
+    def test_empty_tracer(self):
+        t = EngineTracer()
+        assert t.longest_step() is None
+        assert t.total_time() == 0.0
+
+    def test_chrome_trace_export(self, tmp_path):
+        _, tracer = traced_run(max_batch=4)
+        path = tracer.write_chrome_trace(tmp_path / "trace.json")
+        blob = json.loads(path.read_text())
+        events = blob["traceEvents"]
+        assert len(events) == len(tracer.steps)
+        assert all(e["ph"] == "X" for e in events)
+        assert events[0]["dur"] > 0
+
+    def test_records_export(self):
+        _, tracer = traced_run(max_batch=4)
+        records = tracer.to_records()
+        assert len(records) == len(tracer.steps)
+        assert {"index", "start", "duration", "kind"} <= set(records[0])
+
+    def test_step_trace_end(self):
+        s = StepTrace(0, 1.0, 0.5, "decode", 2, 2, 0, 100)
+        assert s.end == 1.5

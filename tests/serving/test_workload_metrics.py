@@ -1,0 +1,162 @@
+"""Tests for workload traces, latency metrics, and preemption."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.config import get_model_config
+from repro.serving.engine import EngineConfig, ServingEngine
+from repro.serving.metrics import LatencyReport
+from repro.serving.request import Phase, Request, make_batch_requests
+from repro.serving.systems import build_system
+from repro.serving.workload import (
+    make_heterogeneous_requests,
+    make_poisson_trace,
+)
+
+
+def engine(system="comet", **cfg):
+    return ServingEngine(
+        get_model_config("llama-3-8b"), build_system(system),
+        config=EngineConfig(**cfg),
+    )
+
+
+class TestWorkloadGenerators:
+    def test_poisson_trace_structure(self):
+        trace = make_poisson_trace(20, arrival_rate=5.0, seed=1)
+        assert len(trace) == 20
+        arrivals = [r.arrival_time for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert all(r.prompt_len >= 1 and r.max_new_tokens >= 1 for r in trace)
+
+    def test_poisson_rate_controls_span(self):
+        fast = make_poisson_trace(50, arrival_rate=100.0, seed=2)
+        slow = make_poisson_trace(50, arrival_rate=1.0, seed=2)
+        assert fast[-1].arrival_time < slow[-1].arrival_time
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_poisson_trace(0, 1.0)
+        with pytest.raises(ValueError):
+            make_poisson_trace(5, 0.0)
+        with pytest.raises(ValueError):
+            make_heterogeneous_requests(0)
+
+    def test_heterogeneous_ranges(self):
+        reqs = make_heterogeneous_requests(30, (10, 20), (5, 8), seed=3)
+        assert all(10 <= r.prompt_len <= 20 for r in reqs)
+        assert all(5 <= r.max_new_tokens <= 8 for r in reqs)
+
+    def test_deterministic(self):
+        a = make_poisson_trace(10, 2.0, seed=5)
+        b = make_poisson_trace(10, 2.0, seed=5)
+        assert [r.prompt_len for r in a] == [r.prompt_len for r in b]
+
+
+class TestLatencyReport:
+    def test_requires_finished(self):
+        with pytest.raises(ValueError):
+            LatencyReport.from_requests([Request(0, 4, 4)])
+
+    def test_metrics_from_run(self):
+        eng = engine(max_batch=8)
+        reqs = make_batch_requests(8, 64, 16)
+        eng.run(reqs)
+        rep = LatencyReport.from_requests(reqs)
+        assert rep.num_requests == 8
+        assert rep.ttft_mean > 0
+        assert rep.tpot_mean > 0
+        assert rep.e2e_p95 >= rep.e2e_p50 > 0
+        assert "TTFT" in rep.summary()
+
+    def test_ttft_reflects_queueing(self):
+        """With a batch cap of 1, later requests wait — their TTFT grows."""
+        eng = engine(max_batch=1)
+        reqs = make_batch_requests(3, 64, 8)
+        eng.run(reqs)
+        ttfts = [r.first_token_time - r.arrival_time for r in reqs]
+        assert ttfts[1] > ttfts[0]
+        assert ttfts[2] > ttfts[1]
+
+
+class TestArrivalTrace:
+    def test_idle_gaps_fast_forwarded(self):
+        eng = engine(max_batch=4)
+        reqs = [Request(0, 32, 4, arrival_time=0.0),
+                Request(1, 32, 4, arrival_time=100.0)]
+        report = eng.run(reqs)
+        # The clock jumps over the idle gap instead of spinning.
+        assert report.sim_seconds >= 100.0
+        assert report.requests_completed == 2
+        assert reqs[1].finish_time > 100.0
+
+    def test_trace_completion(self):
+        eng = engine(max_batch=16)
+        trace = make_poisson_trace(
+            12, arrival_rate=50.0, mean_prompt_len=64, mean_new_tokens=16, seed=7
+        )
+        report = eng.run(trace)
+        assert report.requests_completed == 12
+        assert all(r.phase is Phase.FINISHED for r in trace)
+
+    def test_arrival_ordering_respected(self):
+        eng = engine(max_batch=1)
+        reqs = [Request(0, 16, 2, arrival_time=5.0),
+                Request(1, 16, 2, arrival_time=0.0)]
+        eng.run(reqs)
+        # Request 1 arrived first and must finish first.
+        assert reqs[1].finish_time < reqs[0].finish_time
+
+
+class TestPreemption:
+    def _tight_engine(self, **kw):
+        """An engine whose KV pool fits only a few short sequences."""
+        return ServingEngine(
+            get_model_config("llama-3-8b"),
+            build_system("trtllm-fp16"),
+            config=EngineConfig(
+                max_batch=64,
+                hbm_bytes=17.5e9,  # barely above the 16 GB of weights
+                reserve_full_sequence=False,
+                **kw,
+            ),
+        )
+
+    def test_preemption_recovers_and_completes(self):
+        eng = self._tight_engine()
+        cap = eng.kv.token_capacity
+        # Request sizes chosen so optimistic admission overcommits.
+        per_req = max(cap // 3, 32)
+        reqs = make_batch_requests(6, per_req // 2, per_req // 2)
+        report = eng.run(reqs)
+        assert report.requests_completed == 6
+        assert report.preemptions > 0
+        assert report.output_tokens == sum(r.max_new_tokens for r in reqs)
+        # KV fully reclaimed.
+        assert eng.kv.free_blocks == eng.kv.num_blocks
+
+    def test_reserved_mode_never_preempts(self):
+        eng = engine(max_batch=32)
+        report = eng.run(make_batch_requests(32, 64, 16))
+        assert report.preemptions == 0
+
+    def test_single_oversized_request_errors(self):
+        eng = self._tight_engine()
+        cap = eng.kv.token_capacity
+        with pytest.raises(RuntimeError):
+            eng.run([Request(0, prompt_len=16, max_new_tokens=2 * cap)])
+
+    @given(st.integers(2, 10), st.integers(0, 2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_heterogeneous_trace_property(self, n, seed):
+        """All requests finish, tokens conserved, KV reclaimed."""
+        eng = engine(max_batch=8)
+        reqs = make_heterogeneous_requests(
+            n, (8, 64), (4, 16), seed=seed
+        )
+        report = eng.run(reqs)
+        assert report.requests_completed == n
+        assert report.output_tokens == sum(r.max_new_tokens for r in reqs)
+        assert eng.kv.free_blocks == eng.kv.num_blocks

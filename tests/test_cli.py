@@ -1,0 +1,154 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for cmd in ("models", "kernels", "serve", "quantize", "roofline"):
+            args = parser.parse_args([cmd] if cmd != "serve" else [cmd])
+            assert args.command == cmd
+
+
+class TestModels:
+    def test_lists_paper_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "llama-3-70b" in out
+        assert "qwen2-72b" in out
+        assert "tiny-llama-1" in out
+
+
+class TestKernels:
+    def test_default_run(self, capsys):
+        assert main(["kernels", "--model", "llama-2-7b", "--batch", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "w_gate" in out
+        assert "us" in out
+
+    def test_single_kernel(self, capsys):
+        assert main([
+            "kernels", "--kernel", "comet-w4ax", "--batch", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "comet-w4ax" in out
+
+    def test_unknown_kernel(self, capsys):
+        assert main(["kernels", "--kernel", "magic"]) == 2
+
+    def test_h100_marks_unsupported(self, capsys):
+        assert main([
+            "kernels", "--gpu", "H100-SXM5", "--kernel", "oracle-w4a4",
+            "--batch", "8",
+        ]) == 0
+        assert "n/a" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_serve_run(self, capsys):
+        rc = main([
+            "serve", "--model", "llama-3-8b", "--system", "comet",
+            "--prompt", "128", "--out", "32", "--batch", "8",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "TTFT" in out
+        assert "GEMM" in out
+
+    def test_serve_oom(self, capsys):
+        rc = main([
+            "serve", "--model", "llama-3-70b", "--system", "trtllm-fp16",
+        ])
+        assert rc == 1
+        assert "OOM" in capsys.readouterr().err
+
+
+class TestQuantize:
+    def test_quantize_report(self, capsys, zoo_llama1):
+        rc = main(["quantize", "--zoo-model", "tiny-llama-1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "W4A4 GEMM volume" in out
+        assert "perplexity" in out
+
+    def test_quantize_save_checkpoint(self, tmp_path, zoo_llama1):
+        ckpt = tmp_path / "model.npz"
+        rc = main([
+            "quantize", "--zoo-model", "tiny-llama-1", "--save", str(ckpt),
+        ])
+        assert rc == 0
+        assert ckpt.exists()
+        from repro.core.serialization import load_quantized_model
+
+        model, kv = load_quantized_model(ckpt)
+        assert kv is not None
+
+    def test_save_rejected_for_baselines(self, capsys, zoo_llama1):
+        rc = main([
+            "quantize", "--zoo-model", "tiny-llama-1",
+            "--method", "qoq-w4a8kv4", "--save", "/tmp/nope.npz",
+        ])
+        assert rc == 2
+
+
+class TestRoofline:
+    def test_roofline_output(self, capsys):
+        assert main(["roofline"]) == 0
+        out = capsys.readouterr().out
+        assert "attn-fp16" in out
+        assert "memory-bound" in out
+
+    def test_h100_roofline(self, capsys):
+        assert main(["roofline", "--gpu", "H100-SXM5"]) == 0
+        assert "fp8" in capsys.readouterr().out
+
+
+class TestPlan:
+    def test_plan_recommendation(self, capsys):
+        rc = main([
+            "plan", "--model", "llama-3-8b", "--prompt", "128",
+            "--out", "32", "--batch", "16", "--probe", "8",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "deploy" in out
+        assert "comet" in out
+
+    def test_plan_infeasible_returns_nonzero(self, capsys):
+        rc = main([
+            "plan", "--model", "llama-3-8b", "--prompt", "128",
+            "--out", "32", "--batch", "8", "--probe", "4",
+            "--ttft-ms", "0.000001",
+        ])
+        assert rc == 1
+        assert "no feasible" in capsys.readouterr().out
+
+
+class TestSelfcheck:
+    def test_selfcheck_passes(self, capsys):
+        assert main(["selfcheck", "--cases", "4"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_sweep_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "sweep.csv"
+        rc = main([
+            "sweep", "--model", "llama-2-7b", "--batch", "8",
+            "--kernel", "comet-w4ax", "--output", str(out),
+        ])
+        assert rc == 0
+        assert out.exists()
+        header = out.read_text().splitlines()[0]
+        assert "kernel" in header and "seconds" in header
+
+    def test_sweep_unknown_kernel(self, capsys):
+        assert main(["sweep", "--kernel", "magic"]) == 2

@@ -1,0 +1,89 @@
+"""Golden-value regression tests.
+
+Exact expected values for deterministic computations across the stack.
+These freeze the cost model and bit-level formats: any change to them is a
+semantic change to the reproduction and must be deliberate (update the
+goldens together with EXPERIMENTS.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.roofline import balance_point
+from repro.core.intquant import pack_int4, pack_int4_words
+from repro.gpu.isa import conversion_time, mma_time
+from repro.gpu.memory import global_load_time, smem_load_time
+from repro.gpu.spec import A100_80G_SXM4
+from repro.kernels.conversion import fast_int4to8, pack_int4_words_swapped
+from repro.kernels.tiling import GEMMShape
+from repro.kernels.w4ax import W4AxKernel
+from repro.model.config import get_model_config
+
+
+class TestBitFormatGoldens:
+    def test_nibble_packing_bytes(self):
+        # values (1, -1): low nibble 0x1, high nibble 0xF -> 0xF1.
+        packed = pack_int4(np.array([1, -1], dtype=np.int8))
+        assert packed.tolist() == [0xF1]
+
+    def test_word_packing(self):
+        # (1, 2, 3, 4) -> 0x4321.
+        words = pack_int4_words(np.array([1, 2, 3, 4], dtype=np.int8))
+        assert words.tolist() == [0x4321]
+
+    def test_swapped_word_packing(self):
+        # (1, 2, 3, 4) stored as [v3|v1|v2|v0] -> 0x4231.
+        words = pack_int4_words_swapped(np.array([1, 2, 3, 4], dtype=np.int8))
+        assert words.tolist() == [0x4231]
+
+    def test_fast_conversion_bytes(self):
+        # v = (1, -1, 2, -2): outputs 16*v = (16, -16, 32, -32).
+        out = fast_int4to8(
+            pack_int4_words_swapped(np.array([1, -1, 2, -2], dtype=np.int8))
+        )
+        assert out.tolist() == [16, -16, 32, -32]
+
+
+class TestCostModelGoldens:
+    def test_a100_balance_points(self):
+        # tput / 2.0 TB/s: fp16 156, int8 312, int4 624 ops/byte.
+        assert balance_point(A100_80G_SXM4, "fp16") == pytest.approx(156.0)
+        assert balance_point(A100_80G_SXM4, "int8") == pytest.approx(312.0)
+        assert balance_point(A100_80G_SXM4, "int4") == pytest.approx(624.0)
+
+    def test_mma_time_128_cube(self):
+        # 2 * 128^3 ops at 1248e12/108 ops/s per SM = 362.8 ns.
+        t = mma_time(A100_80G_SXM4, 128, 128, 128, "int4")
+        assert t == pytest.approx(2 * 128**3 / (1248e12 / 108))
+
+    def test_global_load_fair_share(self):
+        # 1 MiB over 2 TB/s / 108 SMs = 56.6 us.
+        t = global_load_time(A100_80G_SXM4, 2**20)
+        assert t == pytest.approx(2**20 / (2.0e12 / 108))
+
+    def test_smem_bandwidth(self):
+        # 128 B/clk * 1.41 GHz = 180.48 GB/s per SM.
+        t = smem_load_time(A100_80G_SXM4, 180.48e9)
+        assert t == pytest.approx(1.0)
+
+    def test_conversion_rate(self):
+        # 1e6 values * 2 instr at 19.5e12/108 int ops/s = 11.08 us.
+        t = conversion_time(A100_80G_SXM4, 1e6, 2.0)
+        assert t == pytest.approx(2e6 / (19.5e12 / 108))
+
+
+class TestKernelLatencyGoldens:
+    """Pin the headline kernel numbers the EXPERIMENTS.md tables cite.
+
+    Tolerances are tight (2%) so cost-model drift is caught, but allow
+    benign refactors of float accumulation order.
+    """
+
+    def test_comet_8192_batch64(self):
+        lat = W4AxKernel().latency(GEMMShape(64, 8192, 8192)).seconds
+        assert lat == pytest.approx(32.8e-6, rel=0.02)
+
+    def test_paper_model_shapes_registered(self):
+        cfg = get_model_config("qwen2-72b")
+        assert cfg.linear_shapes()["w_gate"] == (29568, 8192)
+        assert cfg.kv_values_per_token() == 2 * 80 * 1024

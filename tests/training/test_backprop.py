@@ -1,0 +1,149 @@
+"""Gradient checks and trainer tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import SyntheticCorpus
+from repro.model.config import tiny_config
+from repro.model.rope import RotaryEmbedding
+from repro.model.tensorops import cross_entropy
+from repro.model.transformer import Transformer, init_params
+from repro.training.backprop import loss_and_grads, loss_only
+from repro.training.optimizer import Adam, AdamConfig, clip_grad_norm, cosine_lr
+from repro.training.trainer import TrainConfig, train
+
+
+def micro_config(n_kv_heads=None):
+    return tiny_config(
+        name="micro",
+        vocab_size=11,
+        d_model=8,
+        n_layers=1,
+        n_heads=2,
+        n_kv_heads=n_kv_heads,
+        d_ffn=12,
+        max_seq_len=16,
+    )
+
+
+class TestGradients:
+    @pytest.mark.parametrize("kv_heads", [None, 1])
+    def test_numerical_gradcheck(self, kv_heads):
+        """Analytic gradients match central finite differences."""
+        cfg = micro_config(n_kv_heads=kv_heads)
+        params = init_params(cfg, seed=3)
+        rng = np.random.default_rng(0)
+        tokens = rng.integers(0, cfg.vocab_size, size=(2, 5))
+        rope = RotaryEmbedding(cfg.head_dim, cfg.max_seq_len)
+        _, grads = loss_and_grads(params, cfg, tokens, rope)
+        eps = 1e-4
+        for name in [
+            "embed.weight",
+            "layers.0.attn_norm.gain",
+            "layers.0.attn.wq.weight",
+            "layers.0.attn.wk.weight",
+            "layers.0.attn.wv.weight",
+            "layers.0.attn.wo.weight",
+            "layers.0.mlp_norm.gain",
+            "layers.0.mlp.w_gate.weight",
+            "layers.0.mlp.w_up.weight",
+            "layers.0.mlp.w_down.weight",
+            "final_norm.gain",
+            "lm_head.weight",
+        ]:
+            p = params[name]
+            check_rng = np.random.default_rng(hash(name) % 2**32)
+            for _ in range(3):
+                idx = tuple(check_rng.integers(0, s) for s in p.shape)
+                orig = p[idx]
+                p[idx] = orig + eps
+                lp = loss_only(params, cfg, tokens, rope)
+                p[idx] = orig - eps
+                lm = loss_only(params, cfg, tokens, rope)
+                p[idx] = orig
+                numeric = (lp - lm) / (2 * eps)
+                analytic = grads[name][idx]
+                assert analytic == pytest.approx(numeric, rel=2e-2, abs=2e-5), name
+
+    def test_loss_matches_inference_model(self):
+        """Trainer loss equals cross-entropy of the inference Transformer."""
+        cfg = micro_config()
+        params = init_params(cfg, seed=4)
+        tokens = np.random.default_rng(1).integers(0, cfg.vocab_size, size=(3, 6))
+        train_loss = loss_only(params, cfg, tokens)
+        model = Transformer(cfg, params=params)
+        ce = np.mean(
+            [
+                cross_entropy(model.forward(seq)[:-1], seq[1:])
+                for seq in tokens
+            ]
+        )
+        assert train_loss == pytest.approx(float(ce), rel=1e-4)
+
+    def test_rejects_short_sequences(self):
+        cfg = micro_config()
+        params = init_params(cfg)
+        with pytest.raises(ValueError):
+            loss_and_grads(params, cfg, np.zeros((2, 1), dtype=int))
+
+    def test_grads_cover_all_params(self):
+        cfg = micro_config()
+        params = init_params(cfg)
+        tokens = np.zeros((1, 4), dtype=int)
+        _, grads = loss_and_grads(params, cfg, tokens)
+        assert set(grads) == set(params)
+        for k, g in grads.items():
+            assert g.shape == params[k].shape, k
+
+
+class TestOptimizer:
+    def test_clip_grad_norm(self):
+        grads = {"a": np.array([3.0, 4.0])}
+        clipped, norm = clip_grad_norm(grads, 1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(clipped["a"]) == pytest.approx(1.0)
+
+    def test_clip_noop_below_threshold(self):
+        grads = {"a": np.array([0.1])}
+        clipped, _ = clip_grad_norm(grads, 1.0)
+        np.testing.assert_array_equal(clipped["a"], grads["a"])
+
+    def test_cosine_lr_schedule(self):
+        base = 1e-2
+        assert cosine_lr(0, 100, base) < base  # warmup
+        assert cosine_lr(10, 100, base) == pytest.approx(base)
+        assert cosine_lr(99, 100, base) < 0.2 * base
+        with pytest.raises(ValueError):
+            cosine_lr(0, 0, base)
+
+    def test_adam_reduces_quadratic(self):
+        opt = Adam(AdamConfig(lr=0.1))
+        params = {"x": np.array([5.0], dtype=np.float32)}
+        for _ in range(200):
+            grads = {"x": 2 * params["x"]}
+            params = opt.step(params, grads)
+        assert abs(params["x"][0]) < 0.1
+
+
+class TestTraining:
+    def test_short_training_reduces_loss(self):
+        cfg = micro_config()
+        corpus = SyntheticCorpus(vocab_size=cfg.vocab_size, seed=1)
+        result = train(
+            cfg,
+            corpus,
+            TrainConfig(steps=40, batch_size=8, seq_len=16, eval_every=0, seed=1),
+        )
+        # Loss must drop below the unigram (no-context) entropy.
+        assert result.final_eval_loss < corpus.unigram_entropy()
+        assert result.train_losses[0] > result.final_eval_loss
+
+    def test_trained_params_load_into_transformer(self):
+        cfg = micro_config()
+        corpus = SyntheticCorpus(vocab_size=cfg.vocab_size, seed=2)
+        result = train(
+            cfg, corpus, TrainConfig(steps=5, batch_size=4, seq_len=8, eval_every=0)
+        )
+        model = Transformer(cfg, params=result.params)
+        logits = model.forward(np.array([1, 2, 3]))
+        assert logits.shape == (3, cfg.vocab_size)
