@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from bench_util import emit, format_table
+from bench_util import emit, format_table, maybe_emit_metrics
 from repro.model.config import get_model_config
 from repro.serving.engine import EngineConfig, ServingEngine
 from repro.serving.request import make_batch_requests
@@ -33,6 +33,7 @@ SETTINGS = ((1024, 512), (128, 128))
 
 
 def run_setting(prompt_len, out_len, models=MODELS, max_batch=256):
+    maybe_emit_metrics()
     grid = {}
     for model_name in models:
         cfg = get_model_config(model_name)

@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from bench_util import emit, format_table
+from bench_util import emit, format_table, maybe_emit_metrics
 from repro.kernels.baselines import CuBLASW16A16, TRTLLMW4A16, TRTLLMW8A8
 from repro.kernels.tiling import GEMMShape
 from repro.kernels.w4ax import W4AxKernel
@@ -48,6 +48,7 @@ def gemm_shapes():
 
 
 def run_fig9():
+    maybe_emit_metrics()
     kernels = {
         "cuBLAS-W16A16": CuBLASW16A16(),
         "TRT-LLM-W4A16": TRTLLMW4A16(),

@@ -8,12 +8,36 @@ capture, and are also printed (visible with ``pytest -s``).
 
 from __future__ import annotations
 
+import atexit
+import os
 from pathlib import Path
 
 from repro.model.transformer import Transformer
 from repro.training.zoo import ZooEntry, load_zoo_model
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+_metrics_hooked = False
+
+
+def maybe_emit_metrics() -> None:
+    """Honour ``$REPRO_EMIT_METRICS``: when set to a path, enable the
+    telemetry subsystem for this benchmark process and write a metrics
+    snapshot (Prometheus text + JSON + chrome trace) there at exit.
+
+    Telemetry stays fully disabled when the variable is unset, so the
+    benchmarks measure the zero-cost path by default.
+    """
+    global _metrics_hooked
+    path = os.environ.get("REPRO_EMIT_METRICS")
+    if not path or _metrics_hooked:
+        return
+    _metrics_hooked = True
+    import repro.obs as obs
+    from repro.obs.snapshot import write_snapshot
+
+    obs.enable()
+    atexit.register(write_snapshot, path)
 
 
 def clone_model(entry: ZooEntry) -> Transformer:

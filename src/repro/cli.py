@@ -7,6 +7,12 @@ Subcommands:
 * ``serve``     — simulated end-to-end serving run for a (model, system).
 * ``quantize``  — quantize a tiny zoo model and report perplexity impact.
 * ``roofline``  — print the Figure 2 roofline points.
+* ``stats``     — exercise every instrumented layer and dump telemetry.
+
+``kernels``, ``serve``, and ``quantize`` accept ``--emit-metrics PATH`` to
+enable the telemetry subsystem (:mod:`repro.obs`) for the run and write a
+Prometheus-text snapshot to PATH plus ``PATH.json`` and a merged
+chrome://tracing file at ``PATH.trace.json``.
 
 Run ``python -m repro.cli <subcommand> --help`` for options.
 """
@@ -31,6 +37,36 @@ from repro.serving.systems import SYSTEM_NAMES, build_system
 __all__ = ["main", "build_parser"]
 
 
+def _begin_metrics(args: argparse.Namespace) -> str | None:
+    """Enable telemetry when ``--emit-metrics`` was given; return the path."""
+    path = getattr(args, "emit_metrics", None)
+    if path:
+        import repro.obs as obs
+
+        obs.enable()
+    return path
+
+
+def _end_metrics(path: str | None) -> None:
+    if not path:
+        return
+    from repro.obs.snapshot import write_snapshot
+
+    written = write_snapshot(path)
+    print(
+        "telemetry snapshot: "
+        + ", ".join(str(written[k]) for k in ("prometheus", "json", "trace"))
+    )
+
+
+def _add_emit_metrics(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--emit-metrics", metavar="PATH", default=None,
+        help="enable telemetry; write Prometheus text to PATH plus "
+             "PATH.json and a chrome trace at PATH.trace.json",
+    )
+
+
 def _cmd_models(args: argparse.Namespace) -> int:
     print(f"{'name':14s} {'params':>8s} {'d_model':>8s} {'layers':>7s} "
           f"{'heads':>6s} {'kv':>4s} {'ffn':>7s}")
@@ -53,6 +89,7 @@ def _cmd_kernels(args: argparse.Namespace) -> int:
         print(f"unknown kernels: {unknown}; known: {sorted(KERNELS)}",
               file=sys.stderr)
         return 2
+    metrics_path = _begin_metrics(args)
     print(f"{cfg.name} @ batch {args.batch} on {args.gpu} (simulated)")
     header = f"{'layer':8s} {'n x k':>14s}" + "".join(f"{k:>16s}" for k in kernels)
     print(header)
@@ -66,11 +103,13 @@ def _cmd_kernels(args: argparse.Namespace) -> int:
             except KeyError:  # precision unsupported on this GPU
                 cells.append(f"{'n/a':>15s}")
         print(f"{layer:8s} {n:>7d}x{k:<6d}" + "".join(f"{c:>16s}" for c in cells))
+    _end_metrics(metrics_path)
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     cfg = get_model_config(args.model)
+    metrics_path = _begin_metrics(args)
     try:
         engine = ServingEngine(
             cfg,
@@ -82,7 +121,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 1
     feasible = min(max(engine.plan.max_batch(args.prompt + args.out), 1), args.batch)
     requests = make_batch_requests(feasible, args.prompt, args.out)
-    report = engine.run(requests)
+    tracer = None
+    if metrics_path:
+        from repro.serving.trace import EngineTracer
+
+        tracer = EngineTracer()  # steps land on the merged sim timeline
+    report = engine.run(requests, tracer=tracer)
     print(f"model={cfg.name} system={args.system} "
           f"input/output={args.prompt}/{args.out}")
     print(f"weights {engine.plan.weight_bytes / 1e9:.1f} GB | "
@@ -95,6 +139,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"attention {100 * bd['attention']:.0f}% | "
           f"overhead {100 * bd['overhead']:.0f}%")
     print(LatencyReport.from_requests(requests).summary())
+    _end_metrics(metrics_path)
     return 0
 
 
@@ -102,6 +147,7 @@ def _cmd_quantize(args: argparse.Namespace) -> int:
     from repro.model.transformer import Transformer
     from repro.training.zoo import load_zoo_model
 
+    metrics_path = _begin_metrics(args)
     entry = load_zoo_model(args.zoo_model)
     params = {k: v.copy() for k, v in entry.model.get_params().items()}
     model = Transformer(entry.model.config, params=params)
@@ -123,6 +169,7 @@ def _cmd_quantize(args: argparse.Namespace) -> int:
             return 2
         save_quantized_model(args.save, qm.model, qm.report.kv_config)
         print(f"checkpoint written to {args.save}")
+    _end_metrics(metrics_path)
     return 0
 
 
@@ -180,6 +227,60 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0 if plan.best is not None else 1
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Exercise every instrumented layer once and print the telemetry."""
+    import repro.obs as obs
+    from repro.core.fmpq import calibrate_linear
+    from repro.serving.trace import EngineTracer
+
+    obs.enable()
+    rng = np.random.default_rng(args.seed)
+
+    # FMPQ layer: calibrate one synthetic linear with outlier channels.
+    in_f, out_f, tokens = 256, 128, 64
+    weight = rng.standard_normal((out_f, in_f)).astype(np.float32)
+    acts = rng.standard_normal((tokens, in_f)).astype(np.float32)
+    acts[:, rng.choice(in_f, size=6, replace=False)] *= 30.0
+    calibrate_linear(weight, acts, name="stats-demo")
+
+    # Serving + kernel + GPU layers: a short simulated run.
+    engine = ServingEngine(
+        get_model_config(args.model),
+        build_system(args.system),
+        config=EngineConfig(max_batch=8),
+    )
+    tracer = EngineTracer()
+    engine.run(
+        make_batch_requests(args.requests, args.prompt, args.out),
+        tracer=tracer,
+    )
+
+    reg = obs.metrics()
+    print(f"{'metric':42s} {'kind':>10s} {'value':>16s}")
+    for fam in reg.collect():
+        if fam.kind == "histogram":
+            total = sum(c.count for _, c in fam.series())
+            val = f"n={total}"
+        else:
+            total = sum(c.value for _, c in fam.series())
+            val = f"{total:g}"
+        print(f"{fam.name:42s} {fam.kind:>10s} {val:>16s}")
+
+    spans: dict[str, int] = {}
+    for rec in obs.tracer().records:
+        # Sim-domain engine steps carry per-step names; group by category.
+        name = rec.cat if rec.cat == "engine.step" else rec.name
+        if rec.instant:
+            name = f"[{name}]"
+        spans[name] = spans.get(name, 0) + 1
+    print(f"\n{'span / [event]':42s} {'count':>10s}")
+    for name in sorted(spans):
+        print(f"{name:42s} {spans[name]:>10d}")
+
+    _end_metrics(getattr(args, "emit_metrics", None))
+    return 0
+
+
 def _cmd_roofline(args: argparse.Namespace) -> int:
     spec = KNOWN_GPUS[args.gpu]
     print(f"{spec.name}: balance points "
@@ -211,6 +312,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gpu", choices=sorted(KNOWN_GPUS), default="A100-80G-SXM4")
     p.add_argument("--kernel", action="append",
                    help="kernel name (repeatable; default: all)")
+    _add_emit_metrics(p)
     p.set_defaults(func=_cmd_kernels)
 
     p = sub.add_parser("serve", help="simulated end-to-end serving")
@@ -219,13 +321,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prompt", type=int, default=1024)
     p.add_argument("--out", type=int, default=512)
     p.add_argument("--batch", type=int, default=128)
+    _add_emit_metrics(p)
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("quantize", help="quantize a tiny zoo model")
     p.add_argument("--zoo-model", default="tiny-llama-1")
     p.add_argument("--method", default="fmpq-w4axkv4")
     p.add_argument("--save", help="write an FMPQ .npz checkpoint here")
+    _add_emit_metrics(p)
     p.set_defaults(func=_cmd_quantize)
+
+    p = sub.add_parser(
+        "stats", help="exercise all instrumented layers, dump telemetry"
+    )
+    p.add_argument("--model", default="llama-3-8b")
+    p.add_argument("--system", choices=SYSTEM_NAMES, default="comet")
+    p.add_argument("--requests", type=int, default=4)
+    p.add_argument("--prompt", type=int, default=64)
+    p.add_argument("--out", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    _add_emit_metrics(p)
+    p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("selfcheck", help="verify kernel numerics and timing")
     p.add_argument("--cases", type=int, default=20)

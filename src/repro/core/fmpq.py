@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.blockwise import (
     BlockConfig,
     BlockPrecisionPlan,
@@ -239,44 +240,54 @@ def calibrate_linear(
     """
     config = config or FMPQConfig()
     weight = np.asarray(weight, dtype=np.float32)
-    stats = collect_channel_stats(calibration_activations)
-    mask = outlier_channel_mask(stats, config.outlier_threshold)
+    with obs.span(
+        "fmpq.calibrate", cat="fmpq", layer=name, channels=weight.shape[1]
+    ):
+        with obs.span("fmpq.collect_stats", cat="fmpq"):
+            stats = collect_channel_stats(calibration_activations)
+            mask = outlier_channel_mask(stats, config.outlier_threshold)
 
-    if config.use_permutation and mask.any():
-        perm = outlier_clustering_permutation(mask, scores=stats.score())
-    else:
-        perm = identity_permutation(weight.shape[1])
+        with obs.span("fmpq.permute", cat="fmpq"):
+            if config.use_permutation and mask.any():
+                perm = outlier_clustering_permutation(mask, scores=stats.score())
+            else:
+                perm = identity_permutation(weight.shape[1])
 
-    mask_perm = mask[perm.forward]
-    plan = assign_block_precisions(mask_perm, config.block)
-    if config.force_high_precision:
-        plan = BlockPrecisionPlan(
-            config=plan.config, is_high=np.ones(plan.num_blocks, dtype=bool)
-        )
-    elif config.force_low_precision:
-        plan = BlockPrecisionPlan(
-            config=plan.config, is_high=np.zeros(plan.num_blocks, dtype=bool)
-        )
+        with obs.span("fmpq.assign_blocks", cat="fmpq"):
+            mask_perm = mask[perm.forward]
+            plan = assign_block_precisions(mask_perm, config.block)
+            if config.force_high_precision:
+                plan = BlockPrecisionPlan(
+                    config=plan.config,
+                    is_high=np.ones(plan.num_blocks, dtype=bool),
+                )
+            elif config.force_low_precision:
+                plan = BlockPrecisionPlan(
+                    config=plan.config,
+                    is_high=np.zeros(plan.num_blocks, dtype=bool),
+                )
 
-    weight_perm = perm.apply_to_weight(weight)
-    if config.weight_method == "gptq":
-        # Import here: baselines depend on core, not the other way around.
-        from repro.baselines.gptq import gptq_quantize_weight
+        with obs.span("fmpq.weight_quant", cat="fmpq", method=config.weight_method):
+            weight_perm = perm.apply_to_weight(weight)
+            if config.weight_method == "gptq":
+                # Import here: baselines depend on core, not the other way
+                # around.
+                from repro.baselines.gptq import gptq_quantize_weight
 
-        calib_flat = np.asarray(
-            calibration_activations, dtype=np.float32
-        ).reshape(-1, weight.shape[1])
-        qweight = gptq_quantize_weight(
-            weight_perm,
-            perm.apply_to_activation(calib_flat),
-            group_size=config.block.block_size,
-        )
-    else:
-        qweight = quantize_weight(
-            weight_perm,
-            group_size=config.block.block_size,
-            clip_grid=config.clip_grid,
-        )
+                calib_flat = np.asarray(
+                    calibration_activations, dtype=np.float32
+                ).reshape(-1, weight.shape[1])
+                qweight = gptq_quantize_weight(
+                    weight_perm,
+                    perm.apply_to_activation(calib_flat),
+                    group_size=config.block.block_size,
+                )
+            else:
+                qweight = quantize_weight(
+                    weight_perm,
+                    group_size=config.block.block_size,
+                    clip_grid=config.clip_grid,
+                )
     layer = QuantizedLinear(
         qweight=qweight, permutation=perm, plan=plan, bias=bias, name=name
     )
@@ -286,4 +297,32 @@ def calibrate_linear(
         num_blocks=plan.num_blocks,
         num_high_blocks=int(plan.is_high.sum()),
     )
+    if obs.enabled():
+        _record_calibration_metrics(layer_stats)
     return layer, layer_stats
+
+
+def _record_calibration_metrics(stats: LayerQuantStats) -> None:
+    m = obs.metrics()
+    m.counter(
+        "fmpq.layers_calibrated_total",
+        obs.metric_help("fmpq.layers_calibrated_total"),
+    ).inc()
+    m.counter(
+        "fmpq.channels_total", obs.metric_help("fmpq.channels_total")
+    ).inc(stats.num_channels)
+    m.counter(
+        "fmpq.outlier_channels_total",
+        obs.metric_help("fmpq.outlier_channels_total"),
+    ).inc(stats.num_outlier_channels)
+    m.counter(
+        "fmpq.blocks_total", obs.metric_help("fmpq.blocks_total")
+    ).inc(stats.num_blocks)
+    m.counter(
+        "fmpq.high_blocks_total", obs.metric_help("fmpq.high_blocks_total")
+    ).inc(stats.num_high_blocks)
+    m.histogram(
+        "fmpq.w4a4_block_fraction",
+        obs.metric_help("fmpq.w4a4_block_fraction"),
+        buckets=obs.FRACTION_BUCKETS,
+    ).observe(stats.w4a4_gemm_fraction)

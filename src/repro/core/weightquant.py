@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.intquant import (
     INT4,
     QuantSpec,
@@ -134,15 +135,24 @@ def quantize_weight(
     best_err = np.full((out_f, num_groups), np.inf, dtype=np.float64)
     best_scale = np.empty((out_f, num_groups), dtype=np.float32)
     best_codes = np.empty((out_f, num_groups, group_size), dtype=np.int8)
-    for ratio in clip_grid:
-        s = symmetric_scale(grouped, spec, axis=-1, clip_ratio=ratio)
-        q = quantize_symmetric(grouped, s, spec)
-        recon = dequantize_symmetric(q, s)
-        err = np.mean((grouped - recon) ** 2, axis=-1, dtype=np.float64)
-        better = err < best_err
-        best_err = np.where(better, err, best_err)
-        best_scale = np.where(better, s[..., 0], best_scale)
-        best_codes = np.where(better[..., None], q, best_codes)
+    with obs.span(
+        "fmpq.clip_search", cat="fmpq",
+        grid=len(clip_grid), groups=out_f * num_groups,
+    ):
+        for ratio in clip_grid:
+            s = symmetric_scale(grouped, spec, axis=-1, clip_ratio=ratio)
+            q = quantize_symmetric(grouped, s, spec)
+            recon = dequantize_symmetric(q, s)
+            err = np.mean((grouped - recon) ** 2, axis=-1, dtype=np.float64)
+            better = err < best_err
+            best_err = np.where(better, err, best_err)
+            best_scale = np.where(better, s[..., 0], best_scale)
+            best_codes = np.where(better[..., None], q, best_codes)
+    if obs.enabled():
+        obs.metrics().counter(
+            "fmpq.clip_search_iterations_total",
+            obs.metric_help("fmpq.clip_search_iterations_total"),
+        ).inc(len(clip_grid))
     return QuantizedWeight(
         codes=best_codes.reshape(out_f, in_f),
         scales=best_scale.astype(np.float32),

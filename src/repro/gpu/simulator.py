@@ -23,6 +23,8 @@ from enum import Enum
 
 import numpy as np
 
+import repro.obs as obs
+
 __all__ = ["TileTask", "SchedulePolicy", "ScheduleResult", "simulate_schedule"]
 
 
@@ -176,22 +178,66 @@ def simulate_schedule(
     if not tasks:
         return ScheduleResult(policy, 0.0, np.zeros(num_sms), 0, 0.0)
     durations = [t.duration for t in tasks]
-    if policy is SchedulePolicy.WAVE_BARRIER:
-        makespan, busy, waves, sync = _wave_barrier(durations, num_sms, sync_overhead)
-    elif policy is SchedulePolicy.STATIC_QUEUE:
-        makespan, busy, waves, sync = _static_queue(durations, num_sms, sync_overhead)
-    elif policy is SchedulePolicy.BALANCED:
-        makespan, busy, waves, sync = _balanced(durations, num_sms, sync_overhead)
-    elif policy is SchedulePolicy.WORK_STEALING:
-        makespan, busy, waves, sync = _work_stealing(
-            tasks, num_sms, sync_overhead, steal_overhead, max_split
-        )
-    else:  # pragma: no cover - exhaustive enum
-        raise ValueError(f"unknown policy {policy}")
-    return ScheduleResult(
+    with obs.span(
+        "gpu.simulate_schedule", cat="gpu",
+        policy=policy.value, tiles=len(tasks), sms=num_sms,
+    ):
+        if policy is SchedulePolicy.WAVE_BARRIER:
+            makespan, busy, waves, sync = _wave_barrier(
+                durations, num_sms, sync_overhead
+            )
+        elif policy is SchedulePolicy.STATIC_QUEUE:
+            makespan, busy, waves, sync = _static_queue(
+                durations, num_sms, sync_overhead
+            )
+        elif policy is SchedulePolicy.BALANCED:
+            makespan, busy, waves, sync = _balanced(
+                durations, num_sms, sync_overhead
+            )
+        elif policy is SchedulePolicy.WORK_STEALING:
+            makespan, busy, waves, sync = _work_stealing(
+                tasks, num_sms, sync_overhead, steal_overhead, max_split
+            )
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown policy {policy}")
+    result = ScheduleResult(
         policy=policy,
         makespan=makespan,
         per_sm_busy=np.asarray(busy),
         num_waves=waves,
         sync_time=sync,
     )
+    if obs.enabled():
+        _record_schedule_metrics(result, num_sms)
+    return result
+
+
+def _record_schedule_metrics(result: ScheduleResult, num_sms: int) -> None:
+    """Per-wave occupancy, idle time, and barrier-stall accounting."""
+    m = obs.metrics()
+    m.counter(
+        "gpu.schedules_total", obs.metric_help("gpu.schedules_total"),
+        labelnames=("policy",),
+    ).labels(policy=result.policy.value).inc()
+    m.counter("gpu.waves_total", obs.metric_help("gpu.waves_total")).inc(
+        result.num_waves
+    )
+    busy_total = result.total_busy
+    span = max(result.makespan - result.sync_time, 0.0)
+    idle = max(span * num_sms - busy_total, 0.0)
+    m.counter(
+        "gpu.sm_busy_seconds_total",
+        obs.metric_help("gpu.sm_busy_seconds_total"),
+    ).inc(busy_total)
+    m.counter(
+        "gpu.sm_idle_seconds_total",
+        obs.metric_help("gpu.sm_idle_seconds_total"),
+    ).inc(idle)
+    m.counter(
+        "gpu.barrier_sync_seconds_total",
+        obs.metric_help("gpu.barrier_sync_seconds_total"),
+    ).inc(result.sync_time)
+    m.histogram(
+        "gpu.sm_occupancy", obs.metric_help("gpu.sm_occupancy"),
+        buckets=obs.FRACTION_BUCKETS,
+    ).observe(min(result.utilization, 1.0))

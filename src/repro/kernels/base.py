@@ -22,8 +22,10 @@ and the mma format.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import Counter as _TallyCounter
 from dataclasses import dataclass
 
+import repro.obs as obs
 from repro.gpu.isa import conversion_time, mma_time
 from repro.gpu.memory import global_load_time, smem_load_time
 from repro.gpu.simulator import SchedulePolicy, TileTask, simulate_schedule
@@ -75,6 +77,12 @@ class KernelLatency:
     tile: TileShape
     num_tiles: int
     utilization: float
+    #: Telemetry extras, populated only while ``repro.obs`` is enabled so
+    #: the disabled path pays nothing: tile counts by precision, CUDA-core
+    #: conversion instruction total, and conflict-serialized tile count.
+    tiles_by_precision: tuple[tuple[str, int], ...] = ()
+    convert_instructions: float = 0.0
+    smem_conflict_tiles: int = 0
 
     @property
     def dram_bound(self) -> bool:
@@ -195,18 +203,50 @@ class GEMMKernel(ABC):
     def latency(self, shape: GEMMShape) -> KernelLatency:
         """Estimate kernel latency, choosing the best candidate tile shape."""
         best: KernelLatency | None = None
-        for tile in self.candidate_tiles(shape):
-            if not self._fits_shared_memory(tile):
-                continue
-            cand = self._latency_for_tile(shape, tile)
-            if best is None or cand.seconds < best.seconds:
-                best = cand
+        with obs.span(
+            "kernel.latency", cat="kernel", kernel=self.name, shape=str(shape)
+        ):
+            for tile in self.candidate_tiles(shape):
+                if not self._fits_shared_memory(tile):
+                    continue
+                cand = self._latency_for_tile(shape, tile)
+                if best is None or cand.seconds < best.seconds:
+                    best = cand
         if best is None:
             raise ValueError(
                 f"{self.name}: no candidate tile fits shared memory "
                 f"({self.spec.shared_mem_per_sm} B)"
             )
+        if obs.enabled():
+            self._record_latency_metrics(best)
         return best
+
+    def _record_latency_metrics(self, lat: KernelLatency) -> None:
+        m = obs.metrics()
+        m.counter(
+            "kernel.latency_calls_total",
+            obs.metric_help("kernel.latency_calls_total"),
+            labelnames=("kernel",),
+        ).labels(kernel=self.name).inc()
+        m.histogram(
+            "kernel.latency_seconds",
+            obs.metric_help("kernel.latency_seconds"),
+            labelnames=("kernel",),
+        ).labels(kernel=self.name).observe(lat.seconds)
+        tiles_total = m.counter(
+            "kernel.tiles_total", obs.metric_help("kernel.tiles_total"),
+            labelnames=("precision",),
+        )
+        for precision, count in lat.tiles_by_precision:
+            tiles_total.labels(precision=precision).inc(count)
+        m.counter(
+            "kernel.convert_instructions_total",
+            obs.metric_help("kernel.convert_instructions_total"),
+        ).inc(lat.convert_instructions)
+        m.counter(
+            "kernel.smem_conflict_tiles_total",
+            obs.metric_help("kernel.smem_conflict_tiles_total"),
+        ).inc(lat.smem_conflict_tiles)
 
     def _latency_for_tile(self, shape: GEMMShape, tile: TileShape) -> KernelLatency:
         spec = self.spec
@@ -244,6 +284,22 @@ class GEMMKernel(ABC):
         overhead = (
             spec.kernel_launch_overhead + act_quant + self._reduction_overhead(tiles)
         )
+        by_precision: tuple[tuple[str, int], ...] = ()
+        convert_instr = 0.0
+        conflict_tiles = 0
+        if obs.enabled():
+            by_precision = tuple(
+                sorted(_TallyCounter(t.precision for t in tiles).items())
+            )
+            profiles = {p: self.profile(p) for p, _ in by_precision}
+            convert_instr = sum(
+                t.cols * t.depth * profiles[t.precision].convert_per_weight
+                for t in tiles
+            )
+            conflict_tiles = sum(
+                1 for t in tiles
+                if profiles[t.precision].smem_serialization > 1.0
+            )
         return KernelLatency(
             seconds=span + overhead,
             onchip_makespan=sched.makespan,
@@ -252,4 +308,7 @@ class GEMMKernel(ABC):
             tile=tile,
             num_tiles=len(tiles),
             utilization=sched.utilization,
+            tiles_by_precision=by_precision,
+            convert_instructions=convert_instr,
+            smem_conflict_tiles=conflict_tiles,
         )

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.blockwise import QuantizedActivation
 from repro.core.fmpq import mixed_precision_matmul
 from repro.core.weightquant import QuantizedWeight
@@ -75,6 +76,11 @@ class W4AxKernel(GEMMKernel):
         self._has_int4_mma = "int4" in spec.tensor_core_tput
 
     def precision_source(self, shape: GEMMShape) -> dict:
+        if obs.enabled():
+            obs.metrics().gauge(
+                "kernel.w4ax_int8_fraction",
+                obs.metric_help("kernel.w4ax_int8_fraction"),
+            ).set(self.int8_fraction)
         return {"int8_fraction": self.int8_fraction}
 
     def candidate_tiles(self, shape: GEMMShape) -> list[TileShape]:

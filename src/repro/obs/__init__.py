@@ -1,0 +1,139 @@
+"""``repro.obs`` — the unified telemetry subsystem.
+
+One global switchboard connects every instrumented layer (FMPQ, kernels,
+GPU simulator, serving engine) to a metrics registry and a span tracer:
+
+    from repro import obs
+
+    registry, tracer = obs.enable()
+    ... run anything instrumented ...
+    print(obs.export.prometheus_text(registry))
+    obs.disable()
+
+Instrumentation is **zero-cost when disabled** (the default): ``metrics()``
+returns a :class:`~repro.obs.registry.NullRegistry` whose instruments
+absorb every call, ``span()`` returns a shared no-op context manager, and
+call sites that would do extra work to *compute* a metric guard on
+``enabled()``.  Kernel and simulator benchmarks therefore run at full
+speed unless telemetry is explicitly switched on.
+
+Modules:
+    registry — counters, gauges, bucketed histograms (+ null variants)
+    spans    — hierarchical span tracing across layers
+    catalog  — canonical metric names and help strings per layer
+    export   — Prometheus text / JSON / merged chrome-trace exporters
+    snapshot — one-call dumping of every export format
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import catalog, export, snapshot  # noqa: F401 (re-export)
+from repro.obs.catalog import METRIC_CATALOG, metric_help
+from repro.obs.registry import (
+    MetricsRegistry,
+    NullRegistry,
+    DEFAULT_TIME_BUCKETS,
+    FRACTION_BUCKETS,
+)
+from repro.obs.snapshot import write_snapshot
+from repro.obs.spans import NULL_SPAN_HANDLE, SpanRecord, SpanTracer
+
+__all__ = [
+    "enable",
+    "disable",
+    "enabled",
+    "metrics",
+    "tracer",
+    "span",
+    "event",
+    "write_snapshot",
+    "MetricsRegistry",
+    "NullRegistry",
+    "SpanTracer",
+    "SpanRecord",
+    "METRIC_CATALOG",
+    "metric_help",
+    "DEFAULT_TIME_BUCKETS",
+    "FRACTION_BUCKETS",
+]
+
+_NULL_REGISTRY = NullRegistry()
+
+_lock = threading.Lock()
+_enabled: bool = False
+_registry: MetricsRegistry | NullRegistry = _NULL_REGISTRY
+_tracer: SpanTracer | None = None
+
+
+def enable(
+    registry: MetricsRegistry | None = None,
+    span_tracer: SpanTracer | None = None,
+) -> tuple[MetricsRegistry, SpanTracer]:
+    """Switch telemetry on, installing (or reusing) a registry and tracer.
+
+    Idempotent: enabling twice keeps the existing collectors unless new
+    ones are passed explicitly.
+    """
+    global _enabled, _registry, _tracer
+    with _lock:
+        if registry is not None:
+            _registry = registry
+        elif not isinstance(_registry, MetricsRegistry):
+            _registry = MetricsRegistry()
+        if span_tracer is not None:
+            _tracer = span_tracer
+        elif _tracer is None:
+            _tracer = SpanTracer()
+        _enabled = True
+        return _registry, _tracer
+
+
+def disable() -> None:
+    """Switch telemetry off; instrumentation reverts to no-ops."""
+    global _enabled, _registry, _tracer
+    with _lock:
+        _enabled = False
+        _registry = _NULL_REGISTRY
+        _tracer = None
+
+
+def enabled() -> bool:
+    """Fast hot-path check: is telemetry collecting?"""
+    return _enabled
+
+
+def metrics() -> MetricsRegistry | NullRegistry:
+    """The active metrics registry (a no-op registry when disabled)."""
+    return _registry
+
+
+def tracer() -> SpanTracer | None:
+    """The active span tracer, or None when disabled."""
+    return _tracer
+
+
+def span(name: str, cat: str = "span", **attrs):
+    """Open a span when enabled; a shared no-op context otherwise.
+
+    Usage::
+
+        with obs.span("fmpq.permute", cat="fmpq", channels=512):
+            ...
+    """
+    if not _enabled or _tracer is None:
+        return NULL_SPAN_HANDLE
+    return _tracer.span(name, cat=cat, **attrs)
+
+
+def event(
+    name: str,
+    ts: float | None = None,
+    cat: str = "event",
+    domain: str = "wall",
+    **attrs,
+) -> None:
+    """Record an instant event when enabled; no-op otherwise."""
+    if _enabled and _tracer is not None:
+        _tracer.event(name, ts=ts, cat=cat, domain=domain, **attrs)

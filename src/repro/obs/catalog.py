@@ -1,0 +1,110 @@
+"""The metric catalog: canonical names and help strings for every layer.
+
+Instrumented modules register metrics through these constants so one name
+never means two things, and ``repro.cli stats`` / ``docs/observability.md``
+can enumerate what the system emits.  Names are namespaced by layer:
+
+* ``fmpq.*``    — the quantization pipeline (paper Section 3);
+* ``kernel.*``  — the W4Ax / baseline GEMM kernel timing model (Section 4);
+* ``gpu.*``     — the SM tile-schedule simulator (Section 4.4);
+* ``serving.*`` — the continuous-batching engine and paged KV (Section 5).
+"""
+
+from __future__ import annotations
+
+__all__ = ["METRIC_CATALOG", "metric_help"]
+
+#: name -> (kind, help).  The single source of truth for metric semantics.
+METRIC_CATALOG: dict[str, tuple[str, str]] = {
+    # ---------------------------------------------------------------- fmpq
+    "fmpq.layers_calibrated_total": (
+        "counter", "Linear layers run through FMPQ calibration."),
+    "fmpq.outlier_channels_total": (
+        "counter", "Activation channels flagged as outliers across layers."),
+    "fmpq.channels_total": (
+        "counter", "Activation channels examined across layers."),
+    "fmpq.blocks_total": (
+        "counter", "Channel blocks partitioned across layers."),
+    "fmpq.high_blocks_total": (
+        "counter", "Channel blocks assigned INT8 (high precision)."),
+    "fmpq.w4a4_block_fraction": (
+        "histogram", "Per-layer fraction of blocks executed as W4A4."),
+    "fmpq.clip_search_iterations_total": (
+        "counter", "Clip-ratio grid points evaluated by weight quantization."),
+    # -------------------------------------------------------------- kernel
+    "kernel.latency_calls_total": (
+        "counter", "GEMM latency evaluations, by kernel."),
+    "kernel.latency_seconds": (
+        "histogram", "Estimated GEMM kernel latency, by kernel."),
+    "kernel.tiles_total": (
+        "counter", "Work tiles costed, by tile precision (int4/int8)."),
+    "kernel.convert_instructions_total": (
+        "counter", "CUDA-core format-conversion instructions issued."),
+    "kernel.smem_conflict_tiles_total": (
+        "counter", "Tiles whose shared-memory feed serializes (conflicts)."),
+    "kernel.w4ax_int8_fraction": (
+        "gauge", "W4A8 (INT8) k-slice fraction of the last W4Ax GEMM."),
+    # ----------------------------------------------------------------- gpu
+    "gpu.schedules_total": (
+        "counter", "Tile schedules simulated, by scheduling policy."),
+    "gpu.waves_total": (
+        "counter", "Tile waves issued across simulated schedules."),
+    "gpu.sm_busy_seconds_total": (
+        "counter", "Aggregate SM busy time across simulated schedules."),
+    "gpu.sm_idle_seconds_total": (
+        "counter", "Aggregate SM idle time (load imbalance) in schedules."),
+    "gpu.barrier_sync_seconds_total": (
+        "counter", "Time spent in inter-SM synchronization barriers."),
+    "gpu.sm_occupancy": (
+        "histogram", "Mean SM busy fraction per simulated schedule."),
+    # ------------------------------------------------------------- serving
+    "serving.requests_admitted_total": (
+        "counter", "Requests admitted into the running batch."),
+    "serving.requests_finished_total": (
+        "counter", "Requests served to completion."),
+    "serving.preemptions_total": (
+        "counter", "Requests preempted when the KV pool ran dry."),
+    "serving.engine_steps_total": (
+        "counter", "Engine iterations, by step kind (prefill/decode/mixed)."),
+    "serving.output_tokens_total": (
+        "counter", "Tokens decoded across all requests."),
+    "serving.step_seconds": (
+        "histogram", "Simulated duration of one engine iteration."),
+    "serving.batch_size": (
+        "histogram", "Running batch size at each engine iteration."),
+    "serving.ttft_seconds": (
+        "histogram", "Time to first token (arrival to first decode)."),
+    "serving.tpot_seconds": (
+        "histogram", "Time per output token during decode."),
+    "serving.kv_utilization": (
+        "gauge", "Fraction of allocated KV slots holding tokens."),
+    "serving.kv_fragmentation": (
+        "gauge", "Fraction of allocated KV slots wasted (1 - utilization)."),
+    "serving.kv_free_blocks": (
+        "gauge", "Free blocks remaining in the paged-KV pool."),
+    "serving.kv_blocks_allocated_total": (
+        "counter", "Physical KV blocks taken from the pool."),
+    "serving.kv_cow_copies_total": (
+        "counter", "Copy-on-write block copies (prefix sharing)."),
+}
+
+#: Span naming follows the same layer prefixes; the conventional names are
+#: documented here for the docs and tests.
+SPAN_NAMES: tuple[str, ...] = (
+    "serving.engine_run",
+    "engine.step",
+    "kernel.latency",
+    "gpu.simulate_schedule",
+    "fmpq.calibrate",
+    "fmpq.collect_stats",
+    "fmpq.permute",
+    "fmpq.assign_blocks",
+    "fmpq.weight_quant",
+    "fmpq.clip_search",
+)
+
+
+def metric_help(name: str) -> str:
+    """Help string for a catalogued metric ('' when unknown)."""
+    entry = METRIC_CATALOG.get(name)
+    return entry[1] if entry else ""

@@ -1,0 +1,345 @@
+"""Metrics registry: counters, gauges, and bucketed histograms.
+
+The registry is deliberately small — a subset of the Prometheus data model
+sufficient for the reproduction's cross-layer accounting:
+
+* :class:`Counter` — monotonically increasing totals (tiles scheduled,
+  tokens emitted, preemptions);
+* :class:`Gauge` — last-write-wins values (KV utilization, free blocks);
+* :class:`Histogram` — bucketed distributions with sum and count (TTFT,
+  TPOT, per-kernel latency, SM occupancy).
+
+Every metric family may carry label names; ``family.labels(k=v)`` returns
+the child time series for one label combination.  Unlabeled families proxy
+``inc``/``set``/``observe`` straight to their single child, so the common
+call sites stay one-liners.
+
+:class:`NullRegistry` is the disabled-mode stand-in: every accessor returns
+one shared no-op instrument, so instrumented hot paths cost a global bool
+check and nothing else (see :mod:`repro.obs`).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_INSTRUMENT",
+    "DEFAULT_TIME_BUCKETS",
+    "FRACTION_BUCKETS",
+]
+
+#: Default histogram edges, tuned for simulated kernel/step/request times in
+#: seconds: microseconds at the fine end, tens of seconds at the coarse end.
+DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+#: Edges for [0, 1] quantities such as occupancy and block fractions.
+FRACTION_BUCKETS: tuple[float, ...] = (
+    0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
+)
+
+
+def _label_key(
+    labelnames: tuple[str, ...], labels: dict[str, object]
+) -> tuple[str, ...]:
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"labels {sorted(labels)} do not match declared label names "
+            f"{sorted(labelnames)}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+class _Family:
+    """Base class: a named metric with zero or more labeled children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: tuple[str, ...] = ()):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._children: dict[tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
+
+    def _new_child(self):
+        raise NotImplementedError
+
+    def labels(self, **labels):
+        """The child series for one label combination (created on demand)."""
+        key = _label_key(self.labelnames, labels)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(key, self._new_child())
+        return child
+
+    def _default_child(self):
+        if self.labelnames:
+            raise ValueError(
+                f"metric {self.name!r} declares labels {self.labelnames}; "
+                "use .labels(...)"
+            )
+        child = self._children.get(())
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault((), self._new_child())
+        return child
+
+    def series(self) -> list[tuple[tuple[str, ...], object]]:
+        """All ``(label_values, child)`` pairs, sorted by label values."""
+        return sorted(self._children.items())
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up (inc by {amount})")
+        self.value += amount
+
+
+class Counter(_Family):
+    kind = "counter"
+
+    def _new_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+
+class _GaugeChild:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Gauge(_Family):
+    kind = "gauge"
+
+    def _new_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+
+class _HistogramChild:
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: tuple[float, ...]):
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # last slot = +Inf overflow
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """Prometheus-style cumulative ``(le, count)`` pairs, ending +Inf."""
+        out = []
+        running = 0
+        for edge, n in zip(self.buckets, self.counts):
+            running += n
+            out.append((edge, running))
+        out.append((float("inf"), self.count))
+        return out
+
+
+class Histogram(_Family):
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+    ):
+        super().__init__(name, help, labelnames)
+        edges = tuple(sorted(float(b) for b in buckets))
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        if len(set(edges)) != len(edges):
+            raise ValueError(f"duplicate bucket edges in {edges}")
+        self.buckets = edges
+
+    def _new_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)
+
+    @property
+    def sum(self) -> float:
+        return self._default_child().sum
+
+    @property
+    def count(self) -> int:
+        return self._default_child().count
+
+
+_FAMILY_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """A process-local collection of metric families, keyed by name.
+
+    Accessors are get-or-create: the first call fixes the kind, label names,
+    and (for histograms) bucket edges; later calls must agree or raise, so
+    one metric name cannot silently mean two things in two modules.
+    """
+
+    def __init__(self):
+        self._families: dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs) -> _Family:
+        fam = self._families.get(name)
+        if fam is None:
+            with self._lock:
+                fam = self._families.get(name)
+                if fam is None:
+                    fam = cls(name, help, tuple(labelnames), **kwargs)
+                    self._families[name] = fam
+        if not isinstance(fam, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {fam.kind}, "
+                f"not {cls.kind}"
+            )
+        if fam.labelnames != tuple(labelnames):
+            raise ValueError(
+                f"metric {name!r} already registered with labels "
+                f"{fam.labelnames}, not {tuple(labelnames)}"
+            )
+        return fam
+
+    def counter(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        fam = self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+        if fam.buckets != tuple(sorted(float(b) for b in buckets)):
+            raise ValueError(
+                f"histogram {name!r} already registered with buckets "
+                f"{fam.buckets}"
+            )
+        return fam
+
+    def get(self, name: str) -> _Family | None:
+        """Look up a family without creating it."""
+        return self._families.get(name)
+
+    def collect(self) -> list[_Family]:
+        """All families, sorted by name."""
+        return [self._families[k] for k in sorted(self._families)]
+
+    def names(self) -> list[str]:
+        return sorted(self._families)
+
+    def reset(self) -> None:
+        self._families.clear()
+
+
+class _NullInstrument:
+    """Absorbs every instrument call; ``labels`` returns itself."""
+
+    __slots__ = ()
+
+    def labels(self, **labels) -> "_NullInstrument":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """Disabled-mode registry: every accessor returns one shared no-op."""
+
+    def counter(self, *args, **kwargs) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def gauge(self, *args, **kwargs) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def histogram(self, *args, **kwargs) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def get(self, name: str) -> None:
+        return None
+
+    def collect(self) -> list:
+        return []
+
+    def names(self) -> list[str]:
+        return []
+
+    def reset(self) -> None:
+        pass

@@ -1,0 +1,65 @@
+"""Snapshot dumping: one call writes every export format.
+
+``write_snapshot(path)`` is what ``repro.cli ... --emit-metrics PATH`` and
+the ``REPRO_EMIT_METRICS`` benchmark hook call after a run:
+
+* ``PATH``            — Prometheus text exposition;
+* ``PATH.json``       — the registry as JSON;
+* ``PATH.trace.json`` — the merged chrome trace (wall-clock span tree plus
+  any simulated-timeline records, e.g. an :class:`EngineTracer`'s steps).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs import export as _export
+from repro.obs.spans import SpanRecord
+
+__all__ = ["write_snapshot"]
+
+
+def write_snapshot(
+    path: str | Path,
+    registry=None,
+    tracer=None,
+    sim_spans: list[SpanRecord] | None = None,
+) -> dict[str, Path]:
+    """Dump the active (or given) registry and tracer next to ``path``.
+
+    Args:
+        path: base output path; sibling ``.json`` / ``.trace.json`` files
+            are derived from it.
+        registry: metrics registry (default: the active global one).
+        tracer: span tracer (default: the active global one).
+        sim_spans: extra simulated-timeline spans to merge into the trace
+            (e.g. ``EngineTracer.spans()``).
+
+    Returns:
+        ``{"prometheus": ..., "json": ..., "trace": ...}`` written paths.
+    """
+    from repro import obs  # late import: obs/__init__ imports this module
+
+    if registry is None:
+        registry = obs.metrics()
+    if tracer is None:
+        tracer = obs.tracer()
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    written: dict[str, Path] = {}
+
+    path.write_text(_export.prometheus_text(registry))
+    written["prometheus"] = path
+
+    json_path = path.with_name(path.name + ".json")
+    json_path.write_text(_export.registry_json(registry))
+    written["json"] = json_path
+
+    trace_path = path.with_name(path.name + ".trace.json")
+    records = tracer.records if tracer is not None else []
+    _export.write_chrome_trace(
+        trace_path, spans=records, sim_spans=sim_spans or []
+    )
+    written["trace"] = trace_path
+    return written

@@ -1,0 +1,225 @@
+"""Hierarchical span tracing with a context-manager API.
+
+A span is one named, timed region of work.  Spans nest: opening a span
+inside another (in the same thread) records the parent-child edge, so a
+serving-engine step can contain the kernel-latency evaluations it
+triggered, which in turn contain the SM-schedule simulations they ran —
+the cross-layer view the chrome://tracing export renders.
+
+Two time domains coexist:
+
+* **wall** — spans opened via :meth:`SpanTracer.span` measure host
+  wall-clock time (``time.perf_counter`` relative to the tracer's epoch);
+* **sim** — records added via :meth:`SpanTracer.add_span` /
+  :meth:`SpanTracer.event` carry explicit timestamps on the *simulated*
+  clock (engine steps, request lifecycle events).
+
+Exports keep the domains on separate chrome-trace "processes" so both
+timelines stay readable (see :mod:`repro.obs.export`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["SpanRecord", "SpanHandle", "SpanTracer", "NULL_SPAN_HANDLE"]
+
+
+@dataclass
+class SpanRecord:
+    """One completed span (or instant event, when ``duration`` is 0 and
+    ``instant`` is True)."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    cat: str
+    start: float
+    duration: float
+    domain: str = "wall"  # 'wall' | 'sim'
+    instant: bool = False
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class SpanHandle:
+    """Yielded by ``with tracer.span(...)``; lets the body attach attrs."""
+
+    __slots__ = ("_record",)
+
+    def __init__(self, record: SpanRecord):
+        self._record = record
+
+    def set(self, **attrs) -> None:
+        self._record.attrs.update(attrs)
+
+
+class _NullSpanHandle:
+    """Disabled-mode handle: absorbs ``set`` and works as a context."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpanHandle":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_SPAN_HANDLE = _NullSpanHandle()
+
+
+class _SpanContext:
+    """Context manager recording one wall-clock span on exit."""
+
+    __slots__ = ("_tracer", "_record", "_handle")
+
+    def __init__(self, tracer: "SpanTracer", record: SpanRecord):
+        self._tracer = tracer
+        self._record = record
+        self._handle = SpanHandle(record)
+
+    def __enter__(self) -> SpanHandle:
+        self._record.parent_id = self._tracer.current_span_id()
+        self._tracer._stack().append(self._record.span_id)
+        self._record.start = self._tracer.now()
+        return self._handle
+
+    def __exit__(self, *exc) -> bool:
+        rec = self._record
+        rec.duration = self._tracer.now() - rec.start
+        stack = self._tracer._stack()
+        if stack and stack[-1] == rec.span_id:
+            stack.pop()
+        self._tracer._append(rec)
+        return False
+
+
+class SpanTracer:
+    """Collects spans; thread-safe, with a per-thread nesting stack."""
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._epoch = clock()
+        self._records: list[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def now(self) -> float:
+        """Wall seconds since the tracer was created."""
+        return self._clock() - self._epoch
+
+    def span(self, name: str, cat: str = "span", **attrs) -> _SpanContext:
+        """Open a wall-clock span: ``with tracer.span("kernel.latency"):``."""
+        record = SpanRecord(
+            span_id=self._take_id(),
+            parent_id=None,  # resolved from the thread's stack at __enter__
+            name=name,
+            cat=cat,
+            start=0.0,
+            duration=0.0,
+            attrs=dict(attrs),
+        )
+        return _SpanContext(self, record)
+
+    def add_span(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        cat: str = "span",
+        domain: str = "sim",
+        parent_id: int | None = None,
+        **attrs,
+    ) -> SpanRecord:
+        """Record a span with explicit (typically simulated-clock) times."""
+        record = SpanRecord(
+            span_id=self._take_id(),
+            parent_id=parent_id,
+            name=name,
+            cat=cat,
+            start=start,
+            duration=duration,
+            domain=domain,
+            attrs=dict(attrs),
+        )
+        self._append(record)
+        return record
+
+    def event(
+        self,
+        name: str,
+        ts: float | None = None,
+        cat: str = "event",
+        domain: str = "wall",
+        **attrs,
+    ) -> SpanRecord:
+        """Record an instant event (chrome-trace ``ph: "i"``)."""
+        record = SpanRecord(
+            span_id=self._take_id(),
+            parent_id=self.current_span_id() if domain == "wall" else None,
+            name=name,
+            cat=cat,
+            start=self.now() if ts is None else ts,
+            duration=0.0,
+            domain=domain,
+            instant=True,
+            attrs=dict(attrs),
+        )
+        self._append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def records(self) -> list[SpanRecord]:
+        return list(self._records)
+
+    def find(self, name: str) -> list[SpanRecord]:
+        return [r for r in self._records if r.name == name]
+
+    def children_of(self, span_id: int) -> list[SpanRecord]:
+        return [r for r in self._records if r.parent_id == span_id]
+
+    def current_span_id(self) -> int | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _take_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return span_id
+
+    def _append(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._records.append(record)

@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+import repro.obs as obs
 from repro.gpu.spec import A100_80G_SXM4, GPUSpec
 from repro.kernels.attention import DECODE_ATTENTION, PREFILL_ATTENTION
 from repro.kernels.tiling import GEMMShape
@@ -124,6 +125,85 @@ class ThroughputReport:
             "attention": self.attention_seconds / total,
             "overhead": self.overhead_seconds / total,
         }
+
+
+class _EngineTelemetry:
+    """Per-run ``repro.obs`` recording: request lifecycle events on the
+    simulated timeline, TTFT/TPOT histograms, step counters, KV gauges.
+
+    Instantiated only while telemetry is enabled, so the disabled engine
+    pays a single ``obs.enabled()`` check per run.
+    """
+
+    def __init__(self, kv: PagedKVManager):
+        self._kv = kv
+        m = obs.metrics()
+
+        def counter(name):
+            return m.counter(name, obs.metric_help(name))
+
+        def gauge(name):
+            return m.gauge(name, obs.metric_help(name))
+
+        self.admitted = counter("serving.requests_admitted_total")
+        self.finished = counter("serving.requests_finished_total")
+        self.preempted = counter("serving.preemptions_total")
+        self.output_tokens = counter("serving.output_tokens_total")
+        self.steps = m.counter(
+            "serving.engine_steps_total",
+            obs.metric_help("serving.engine_steps_total"),
+            labelnames=("kind",),
+        )
+        self.step_seconds = m.histogram(
+            "serving.step_seconds", obs.metric_help("serving.step_seconds")
+        )
+        self.batch_size = m.histogram(
+            "serving.batch_size", obs.metric_help("serving.batch_size"),
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+        )
+        self.ttft = m.histogram(
+            "serving.ttft_seconds", obs.metric_help("serving.ttft_seconds")
+        )
+        self.tpot = m.histogram(
+            "serving.tpot_seconds", obs.metric_help("serving.tpot_seconds")
+        )
+        self.kv_utilization = gauge("serving.kv_utilization")
+        self.kv_fragmentation = gauge("serving.kv_fragmentation")
+        self.kv_free_blocks = gauge("serving.kv_free_blocks")
+
+    def request_event(self, stage: str, req: Request, ts: float) -> None:
+        obs.event(
+            f"serving.request.{stage}", ts=ts, cat="request", domain="sim",
+            request_id=req.request_id, prompt_len=req.prompt_len,
+        )
+
+    def on_admit(self, req: Request, clock: float) -> None:
+        self.admitted.inc()
+        self.request_event("queued", req, req.arrival_time)
+        self.request_event("prefill", req, clock)
+
+    def on_first_token(self, req: Request, clock: float) -> None:
+        self.ttft.observe(clock - req.arrival_time)
+        self.request_event("decode", req, clock)
+
+    def on_finish(self, req: Request, clock: float) -> None:
+        self.finished.inc()
+        self.tpot.observe(
+            (req.finish_time - req.first_token_time) / max(req.generated - 1, 1)
+        )
+        self.request_event("finished", req, clock)
+
+    def on_preempt(self, req: Request, clock: float) -> None:
+        self.preempted.inc()
+        self.request_event("preempted", req, clock)
+
+    def on_step(self, kind: str, dt: float, batch: int) -> None:
+        self.steps.labels(kind=kind).inc()
+        self.step_seconds.observe(dt)
+        self.batch_size.observe(batch)
+        self.kv_utilization.set(self._kv.utilization())
+        self.kv_fragmentation.set(self._kv.fragmentation())
+        self.kv_free_blocks.set(self._kv.free_blocks)
 
 
 class ServingEngine:
@@ -305,149 +385,175 @@ class ServingEngine:
         chunking = self.config.prefill_chunk_tokens
         last_decode_clock: float | None = None
         max_decode_gap = 0.0
+        tel = _EngineTelemetry(self.kv) if obs.enabled() else None
+        run_span = obs.span(
+            "serving.engine_run", cat="serving", model=self.model.name,
+            system=self.system.name, requests=len(requests),
+        )
 
-        for _ in range(self.config.max_steps):
-            if not running and waiting and waiting[0].arrival_time > clock:
-                clock = waiting[0].arrival_time  # idle until next arrival
+        with run_span:
+            for _ in range(self.config.max_steps):
+                if not running and waiting and waiting[0].arrival_time > clock:
+                    clock = waiting[0].arrival_time  # idle until next arrival
 
-            # Admission.
-            while (
-                waiting
-                and len(running) < self.config.max_batch
-                and waiting[0].arrival_time <= clock
-            ):
-                req = waiting[0]
-                if not self._admit(req, committed_tokens, capacity):
-                    break
-                waiting.popleft()
-                committed_tokens += req.total_len
-                req.phase = Phase.PREFILL
-                if chunking is None:
-                    # Whole-prompt prefill, serialized before decoding.
-                    dt = self.prefill_time(req.prompt_len)
-                    if tracer is not None:
-                        tracer.record(
-                            start=clock, duration=dt, kind="prefill",
-                            batch=1, decode_tokens=0,
-                            prefill_tokens=req.prompt_len,
-                            context_tokens=req.prompt_len,
-                        )
-                    clock += dt
-                    prefill_s += dt
-                    gemm_s += self.linear_stack_latency(req.prompt_len)
-                    attn_s += self.prefill_attention_time(req.prompt_len)
-                    overhead_s += self.config.step_overhead
-                    req.prefill_progress = req.prompt_len
-                    req.phase = Phase.DECODE
-                running.append(req)
+                # Admission.
+                while (
+                    waiting
+                    and len(running) < self.config.max_batch
+                    and waiting[0].arrival_time <= clock
+                ):
+                    req = waiting[0]
+                    if not self._admit(req, committed_tokens, capacity):
+                        break
+                    waiting.popleft()
+                    committed_tokens += req.total_len
+                    req.phase = Phase.PREFILL
+                    if tel is not None:
+                        tel.on_admit(req, clock)
+                    if chunking is None:
+                        # Whole-prompt prefill, serialized before decoding.
+                        with obs.span(
+                            "engine.step", cat="serving", kind="prefill",
+                            batch=1, prefill_tokens=req.prompt_len,
+                        ):
+                            dt = self.prefill_time(req.prompt_len)
+                        if tracer is not None:
+                            tracer.record(
+                                start=clock, duration=dt, kind="prefill",
+                                batch=1, decode_tokens=0,
+                                prefill_tokens=req.prompt_len,
+                                context_tokens=req.prompt_len,
+                            )
+                        clock += dt
+                        prefill_s += dt
+                        gemm_s += self.linear_stack_latency(req.prompt_len)
+                        attn_s += self.prefill_attention_time(req.prompt_len)
+                        overhead_s += self.config.step_overhead
+                        req.prefill_progress = req.prompt_len
+                        req.phase = Phase.DECODE
+                        if tel is not None:
+                            tel.on_step("prefill", dt, 1)
+                    running.append(req)
 
-            if not running:
-                if not waiting:
-                    break
-                if waiting[0].arrival_time > clock:
-                    continue  # fast-forward next iteration
-                raise RuntimeError(
-                    "scheduler stall: KV pool too small for "
-                    f"{waiting[0].total_len}-token requests"
+                if not running:
+                    if not waiting:
+                        break
+                    if waiting[0].arrival_time > clock:
+                        continue  # fast-forward next iteration
+                    raise RuntimeError(
+                        "scheduler stall: KV pool too small for "
+                        f"{waiting[0].total_len}-token requests"
+                    )
+
+                peak_batch = max(peak_batch, len(running))
+                decode_reqs = [r for r in running if r.phase is Phase.DECODE]
+                prefill_req = next(
+                    (r for r in running if r.phase is Phase.PREFILL), None
                 )
+                chunk = 0
+                if prefill_req is not None:
+                    chunk = min(
+                        chunking, prefill_req.prompt_len - prefill_req.prefill_progress
+                    )
 
-            peak_batch = max(peak_batch, len(running))
-            decode_reqs = [r for r in running if r.phase is Phase.DECODE]
-            prefill_req = next(
-                (r for r in running if r.phase is Phase.PREFILL), None
-            )
-            chunk = 0
-            if prefill_req is not None:
-                chunk = min(
-                    chunking, prefill_req.prompt_len - prefill_req.prefill_progress
-                )
-
-            # One continuous-batching iteration: decode tokens plus (when
-            # chunking) one prompt chunk share the same GEMM pass.
-            m = len(decode_reqs) + chunk
-            gemm = self.linear_stack_latency(m)
-            attn = 0.0
-            if decode_reqs:
-                context = sum(r.context_len for r in decode_reqs)
-                attn += self.decode_attention_time(context, len(decode_reqs))
-            if chunk:
-                attn += self._chunk_attention_time(
-                    chunk, prefill_req.prefill_progress
-                )
-            dt = gemm + attn + self.config.step_overhead
-            if tracer is not None:
+                # One continuous-batching iteration: decode tokens plus (when
+                # chunking) one prompt chunk share the same GEMM pass.
                 if decode_reqs and chunk:
                     kind = "mixed"
                 elif decode_reqs:
                     kind = "decode"
                 else:
                     kind = "prefill"
-                tracer.record(
-                    start=clock, duration=dt, kind=kind,
-                    batch=len(running), decode_tokens=len(decode_reqs),
-                    prefill_tokens=chunk,
-                    context_tokens=sum(r.context_len for r in running),
-                )
-            clock += dt
-            gemm_s += gemm
-            attn_s += attn
-            overhead_s += self.config.step_overhead
-            if decode_reqs:
-                decode_s += dt
-                if last_decode_clock is not None:
-                    max_decode_gap = max(max_decode_gap, clock - last_decode_clock)
-                last_decode_clock = clock
-            else:
-                prefill_s += dt
-
-            if chunk:
-                prefill_req.prefill_progress += chunk
-                if prefill_req.prefill_progress >= prefill_req.prompt_len:
-                    prefill_req.phase = Phase.DECODE
-
-            still_running: list[Request] = []
-            for req in running:
-                if req.phase is Phase.PREFILL or (
-                    req is prefill_req and chunk
-                ):
-                    # Still prefilling, or finished its last chunk this
-                    # step (first decode happens next iteration).
-                    still_running.append(req)
-                    continue
-                if req.phase is not Phase.DECODE:
-                    continue  # preempted earlier in this step
-                while not self.kv.append_token(req.request_id):
-                    victim = self._pick_victim(running, req)
-                    if victim is None:
-                        raise RuntimeError(
-                            "KV pool exhausted with nothing to preempt; "
-                            "use reserve_full_sequence=True or shrink "
-                            "max_batch"
+                m = len(decode_reqs) + chunk
+                with obs.span("engine.step", cat="serving", kind=kind) as step_span:
+                    gemm = self.linear_stack_latency(m)
+                    attn = 0.0
+                    if decode_reqs:
+                        context = sum(r.context_len for r in decode_reqs)
+                        attn += self.decode_attention_time(context, len(decode_reqs))
+                    if chunk:
+                        attn += self._chunk_attention_time(
+                            chunk, prefill_req.prefill_progress
                         )
-                    output_tokens -= victim.preempt()
-                    preemptions += 1
-                    self.kv.free(victim.request_id)
-                    committed_tokens -= victim.total_len
-                    waiting.appendleft(victim)
-                req.advance()
-                output_tokens += 1
-                if req.generated == 1:
-                    req.first_token_time = clock
-                if req.phase is Phase.FINISHED:
-                    req.finish_time = clock
-                    self.kv.free(req.request_id)
-                    committed_tokens -= req.total_len
-                    completed += 1
+                    dt = gemm + attn + self.config.step_overhead
+                    step_span.set(batch=len(running), sim_seconds=dt)
+                if tracer is not None:
+                    tracer.record(
+                        start=clock, duration=dt, kind=kind,
+                        batch=len(running), decode_tokens=len(decode_reqs),
+                        prefill_tokens=chunk,
+                        context_tokens=sum(r.context_len for r in running),
+                    )
+                clock += dt
+                gemm_s += gemm
+                attn_s += attn
+                overhead_s += self.config.step_overhead
+                if decode_reqs:
+                    decode_s += dt
+                    if last_decode_clock is not None:
+                        max_decode_gap = max(max_decode_gap, clock - last_decode_clock)
+                    last_decode_clock = clock
                 else:
-                    still_running.append(req)
-            # A victim processed earlier in this step may linger in
-            # still_running with phase WAITING; drop it (it is queued).
-            running = [
-                r for r in still_running
-                if r.phase in (Phase.DECODE, Phase.PREFILL)
-            ]
-        else:
-            raise RuntimeError("max_steps exceeded; raise EngineConfig.max_steps")
+                    prefill_s += dt
+
+                if chunk:
+                    prefill_req.prefill_progress += chunk
+                    if prefill_req.prefill_progress >= prefill_req.prompt_len:
+                        prefill_req.phase = Phase.DECODE
+
+                still_running: list[Request] = []
+                for req in running:
+                    if req.phase is Phase.PREFILL or (
+                        req is prefill_req and chunk
+                    ):
+                        # Still prefilling, or finished its last chunk this
+                        # step (first decode happens next iteration).
+                        still_running.append(req)
+                        continue
+                    if req.phase is not Phase.DECODE:
+                        continue  # preempted earlier in this step
+                    while not self.kv.append_token(req.request_id):
+                        victim = self._pick_victim(running, req)
+                        if victim is None:
+                            raise RuntimeError(
+                                "KV pool exhausted with nothing to preempt; "
+                                "use reserve_full_sequence=True or shrink "
+                                "max_batch"
+                            )
+                        output_tokens -= victim.preempt()
+                        preemptions += 1
+                        self.kv.free(victim.request_id)
+                        committed_tokens -= victim.total_len
+                        waiting.appendleft(victim)
+                        if tel is not None:
+                            tel.on_preempt(victim, clock)
+                    req.advance()
+                    output_tokens += 1
+                    if tel is not None:
+                        tel.output_tokens.inc()
+                    if req.generated == 1:
+                        req.first_token_time = clock
+                        if tel is not None:
+                            tel.on_first_token(req, clock)
+                    if req.phase is Phase.FINISHED:
+                        req.finish_time = clock
+                        self.kv.free(req.request_id)
+                        committed_tokens -= req.total_len
+                        completed += 1
+                        if tel is not None:
+                            tel.on_finish(req, clock)
+                    else:
+                        still_running.append(req)
+                if tel is not None:
+                    tel.on_step(kind, dt, len(running))
+                # A victim processed earlier in this step may linger in
+                # still_running with phase WAITING; drop it (it is queued).
+                running = [
+                    r for r in still_running
+                    if r.phase in (Phase.DECODE, Phase.PREFILL)
+                ]
+            else:
+                raise RuntimeError("max_steps exceeded; raise EngineConfig.max_steps")
 
         return ThroughputReport(
             system=self.system.name,

@@ -37,11 +37,25 @@ class LatencyReport:
     e2e_p95: float
 
     @classmethod
+    def zero(cls) -> "LatencyReport":
+        """The well-defined empty report (``num_requests == 0``, all 0.0)."""
+        return cls(
+            num_requests=0,
+            ttft_mean=0.0, ttft_p50=0.0, ttft_p95=0.0,
+            tpot_mean=0.0, tpot_p50=0.0, tpot_p95=0.0,
+            e2e_mean=0.0, e2e_p50=0.0, e2e_p95=0.0,
+        )
+
+    @classmethod
     def from_requests(cls, requests: list[Request]) -> "LatencyReport":
-        """Compute metrics from finished requests (others are skipped)."""
+        """Compute metrics from finished requests (others are skipped).
+
+        An empty or all-unfinished list yields :meth:`zero` rather than
+        raising, so callers summarizing partial runs need no special case.
+        """
         done = [r for r in requests if r.phase is Phase.FINISHED]
         if not done:
-            raise ValueError("no finished requests to report on")
+            return cls.zero()
         ttft = np.array([r.first_token_time - r.arrival_time for r in done])
         e2e = np.array([r.finish_time - r.arrival_time for r in done])
         tpot = np.array(

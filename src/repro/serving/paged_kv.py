@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import repro.obs as obs
+
 __all__ = ["PagedKVManager", "KVAllocationError"]
 
 
@@ -85,6 +87,11 @@ class PagedKVManager:
             return 1.0
         used = sum(s.tokens for s in self._sequences.values())
         return used / (allocated * self.block_tokens)
+
+    def fragmentation(self) -> float:
+        """Fraction of allocated token slots wasted (internal
+        fragmentation at block granularity): ``1 - utilization``."""
+        return 1.0 - self.utilization()
 
     # ------------------------------------------------------------------
     # Allocation
@@ -162,6 +169,11 @@ class PagedKVManager:
             old = seq.blocks[-1]
             seq.blocks[-1] = self._take_block()
             self._release_block(old)
+            if obs.enabled():
+                obs.metrics().counter(
+                    "serving.kv_cow_copies_total",
+                    obs.metric_help("serving.kv_cow_copies_total"),
+                ).inc()
         seq.tokens += 1
         return True
 
@@ -177,6 +189,11 @@ class PagedKVManager:
     def _take_block(self) -> int:
         b = self._free.pop()
         self._refcount[b] = 1
+        if obs.enabled():
+            obs.metrics().counter(
+                "serving.kv_blocks_allocated_total",
+                obs.metric_help("serving.kv_blocks_allocated_total"),
+            ).inc()
         return b
 
     def _release_block(self, block: int) -> None:

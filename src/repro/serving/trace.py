@@ -4,15 +4,32 @@ A :class:`StepTrace` records one engine iteration (clock, phase mix, batch,
 token counts); :class:`EngineTracer` collects them and exports either a
 summary or the Chrome ``chrome://tracing`` JSON format, so a simulated run
 can be inspected in the same tooling used for real GPU timelines.
+
+Since the unified telemetry subsystem (:mod:`repro.obs`) landed, a step is
+stored as a simulated-domain :class:`repro.obs.spans.SpanRecord` — the same
+record type the cross-layer span tracer uses — and :class:`StepTrace` is a
+typed view over that span (``StepTrace.from_span`` / ``StepTrace.to_span``).
+When the global telemetry registry is enabled, recorded steps are forwarded
+to ``repro.obs.tracer()`` as well, so the merged chrome export shows the
+simulated engine timeline next to the wall-clock span tree.  The legacy
+:meth:`EngineTracer.write_chrome_trace` output format is unchanged.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
+import repro.obs as obs
+from repro.obs.spans import SpanRecord
+
 __all__ = ["StepTrace", "EngineTracer"]
+
+#: Span category used for engine-step spans on the simulated timeline.
+STEP_SPAN_CAT = "engine.step"
+
+_STEP_KINDS = ("prefill", "decode", "mixed")
 
 
 @dataclass(frozen=True)
@@ -32,12 +49,78 @@ class StepTrace:
     def end(self) -> float:
         return self.start + self.duration
 
+    def to_span(self, span_id: int = -1) -> SpanRecord:
+        """The simulated-domain span representation of this step."""
+        return SpanRecord(
+            span_id=span_id,
+            parent_id=None,
+            name=f"{self.kind} b={self.batch}",
+            cat=STEP_SPAN_CAT,
+            start=self.start,
+            duration=self.duration,
+            domain="sim",
+            attrs={
+                "index": self.index,
+                "kind": self.kind,
+                "batch": self.batch,
+                "decode_tokens": self.decode_tokens,
+                "prefill_tokens": self.prefill_tokens,
+                "context_tokens": self.context_tokens,
+            },
+        )
 
-@dataclass
+    @classmethod
+    def from_span(cls, span: SpanRecord) -> "StepTrace":
+        a = span.attrs
+        return cls(
+            index=a["index"],
+            start=span.start,
+            duration=span.duration,
+            kind=a["kind"],
+            batch=a["batch"],
+            decode_tokens=a["decode_tokens"],
+            prefill_tokens=a["prefill_tokens"],
+            context_tokens=a["context_tokens"],
+        )
+
+
+def _step_chrome_event(span: SpanRecord) -> dict:
+    """The legacy chrome-trace event for one step span (µs units)."""
+    a = span.attrs
+    return {
+        "name": f"{a['kind']} b={a['batch']}",
+        "cat": a["kind"],
+        "ph": "X",
+        "ts": span.start * 1e6,
+        "dur": span.duration * 1e6,
+        "pid": 0,
+        "tid": 0,
+        "args": {
+            "decode_tokens": a["decode_tokens"],
+            "prefill_tokens": a["prefill_tokens"],
+            "context_tokens": a["context_tokens"],
+        },
+    }
+
+
 class EngineTracer:
-    """Collects step traces during an engine run."""
+    """Collects step traces during an engine run.
 
-    steps: list[StepTrace] = field(default_factory=list)
+    Steps are stored as simulated-domain span records; when the global
+    telemetry subsystem is enabled they are also appended to
+    ``repro.obs.tracer()`` so they appear in the merged trace export.
+    """
+
+    def __init__(self) -> None:
+        self._spans: list[SpanRecord] = []
+
+    @property
+    def steps(self) -> list[StepTrace]:
+        return [StepTrace.from_span(s) for s in self._spans]
+
+    def spans(self) -> list[SpanRecord]:
+        """The raw simulated-domain span records (one per step)."""
+        return list(self._spans)
 
     def record(
         self,
@@ -49,47 +132,60 @@ class EngineTracer:
         prefill_tokens: int,
         context_tokens: int,
     ) -> None:
-        if kind not in ("prefill", "decode", "mixed"):
+        if kind not in _STEP_KINDS:
             raise ValueError(f"unknown step kind {kind!r}")
-        self.steps.append(
-            StepTrace(
-                index=len(self.steps),
+        step = StepTrace(
+            index=len(self._spans),
+            start=start,
+            duration=duration,
+            kind=kind,
+            batch=batch,
+            decode_tokens=decode_tokens,
+            prefill_tokens=prefill_tokens,
+            context_tokens=context_tokens,
+        )
+        if obs.enabled():
+            # Forward into the global tracer: it assigns the span id and
+            # keeps the record, so the merged export sees it too.
+            span = obs.tracer().add_span(
+                step.to_span().name,
                 start=start,
                 duration=duration,
-                kind=kind,
-                batch=batch,
-                decode_tokens=decode_tokens,
-                prefill_tokens=prefill_tokens,
-                context_tokens=context_tokens,
+                cat=STEP_SPAN_CAT,
+                domain="sim",
+                **step.to_span().attrs,
             )
-        )
+        else:
+            span = step.to_span(span_id=len(self._spans))
+        self._spans.append(span)
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
 
     def total_time(self) -> float:
-        return sum(s.duration for s in self.steps)
+        return sum(s.duration for s in self._spans)
 
     def time_by_kind(self) -> dict[str, float]:
-        out = {"prefill": 0.0, "decode": 0.0, "mixed": 0.0}
-        for s in self.steps:
-            out[s.kind] += s.duration
+        out = {k: 0.0 for k in _STEP_KINDS}
+        for s in self._spans:
+            out[s.attrs["kind"]] += s.duration
         return out
 
     def longest_step(self) -> StepTrace | None:
-        return max(self.steps, key=lambda s: s.duration, default=None)
+        span = max(self._spans, key=lambda s: s.duration, default=None)
+        return None if span is None else StepTrace.from_span(span)
 
     def tokens_per_second_curve(self, window: int = 16) -> list[float]:
         """Decode throughput over a sliding window of steps."""
         if window < 1:
             raise ValueError("window must be positive")
         curve = []
-        for i in range(len(self.steps)):
+        for i in range(len(self._spans)):
             lo = max(0, i - window + 1)
-            chunk = self.steps[lo : i + 1]
+            chunk = self._spans[lo : i + 1]
             dt = sum(s.duration for s in chunk)
-            toks = sum(s.decode_tokens for s in chunk)
+            toks = sum(s.attrs["decode_tokens"] for s in chunk)
             curve.append(toks / dt if dt > 0 else 0.0)
         return curve
 
@@ -102,24 +198,7 @@ class EngineTracer:
 
     def write_chrome_trace(self, path: str | Path) -> Path:
         """Write chrome://tracing 'trace event' JSON (microsecond units)."""
-        events = []
-        for s in self.steps:
-            events.append(
-                {
-                    "name": f"{s.kind} b={s.batch}",
-                    "cat": s.kind,
-                    "ph": "X",
-                    "ts": s.start * 1e6,
-                    "dur": s.duration * 1e6,
-                    "pid": 0,
-                    "tid": 0,
-                    "args": {
-                        "decode_tokens": s.decode_tokens,
-                        "prefill_tokens": s.prefill_tokens,
-                        "context_tokens": s.context_tokens,
-                    },
-                }
-            )
+        events = [_step_chrome_event(s) for s in self._spans]
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps({"traceEvents": events}))

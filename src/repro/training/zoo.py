@@ -13,6 +13,8 @@ outlier structure that makes real LLM activations hard to quantize.
 from __future__ import annotations
 
 import os
+import tempfile
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -89,12 +91,12 @@ def load_zoo_model(name: str, refresh: bool = False) -> ZooEntry:
     cache = zoo_dir() / f"{name}.npz"
 
     if cache.exists() and not refresh:
-        blob = np.load(cache)
-        params = {k: blob[k] for k in blob.files if k != "__final_eval_loss"}
-        final_loss = float(blob["__final_eval_loss"])
-        model = Transformer(config, params=params)
-        return ZooEntry(name=name, model=model, corpus=corpus,
-                        final_eval_loss=final_loss)
+        entry = _load_cached(name, cache, config, corpus)
+        if entry is not None:
+            return entry
+        # Corrupt / truncated cache file (e.g. a process was killed during
+        # a non-atomic write): drop it and fall through to retraining.
+        cache.unlink(missing_ok=True)
 
     result = train(
         config,
@@ -103,11 +105,47 @@ def load_zoo_model(name: str, refresh: bool = False) -> ZooEntry:
     )
     model = Transformer(config, params=result.params)
     inject_outliers(model, channels_per_site=2, gain=40.0, seed=spec["seed"])
-    cache.parent.mkdir(parents=True, exist_ok=True)
     to_save = dict(model.get_params())
     to_save["__final_eval_loss"] = np.float64(result.final_eval_loss)
-    np.savez(cache, **to_save)
+    _atomic_savez(cache, to_save)
     return ZooEntry(
         name=name, model=model, corpus=corpus,
         final_eval_loss=result.final_eval_loss,
     )
+
+
+def _load_cached(
+    name: str, cache: Path, config: ModelConfig, corpus: SyntheticCorpus
+) -> ZooEntry | None:
+    """Load a cached checkpoint, returning None if it is unreadable."""
+    try:
+        with np.load(cache) as blob:
+            params = {
+                k: blob[k] for k in blob.files if k != "__final_eval_loss"
+            }
+            final_loss = float(blob["__final_eval_loss"])
+        model = Transformer(config, params=params)
+    except (zipfile.BadZipFile, OSError, EOFError, KeyError, ValueError):
+        return None
+    return ZooEntry(
+        name=name, model=model, corpus=corpus, final_eval_loss=final_loss
+    )
+
+
+def _atomic_savez(cache: Path, arrays: dict) -> None:
+    """Write the ``.npz`` atomically: temp file in the same directory, then
+    ``os.replace``, so readers never observe a partially-written archive."""
+    cache.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        suffix=".npz", prefix=cache.stem + ".", dir=cache.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, **arrays)
+        os.replace(tmp, cache)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

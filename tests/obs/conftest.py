@@ -1,0 +1,12 @@
+"""Telemetry test fixtures: every test starts and ends with obs disabled."""
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    obs.disable()
+    yield
+    obs.disable()

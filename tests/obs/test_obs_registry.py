@@ -1,0 +1,130 @@
+"""Metrics registry semantics: kinds, labels, buckets, null mode."""
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_TIME_BUCKETS,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    NullRegistry,
+)
+
+
+@pytest.fixture()
+def reg():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_monotonic(self, reg):
+        c = reg.counter("x.total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self, reg):
+        c = reg.counter("x.total")
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1)
+
+    def test_labeled_children_independent(self, reg):
+        c = reg.counter("steps.total", labelnames=("kind",))
+        c.labels(kind="prefill").inc()
+        c.labels(kind="decode").inc(4)
+        series = dict(c.series())
+        assert series[("prefill",)].value == 1
+        assert series[("decode",)].value == 4
+
+    def test_unlabeled_call_on_labeled_family_rejected(self, reg):
+        c = reg.counter("steps.total", labelnames=("kind",))
+        with pytest.raises(ValueError, match="declares labels"):
+            c.inc()
+
+    def test_wrong_label_names_rejected(self, reg):
+        c = reg.counter("steps.total", labelnames=("kind",))
+        with pytest.raises(ValueError, match="do not match"):
+            c.labels(flavor="x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, reg):
+        g = reg.gauge("kv.free")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+
+class TestHistogram:
+    def test_observe_and_cumulative(self, reg):
+        h = reg.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        cum = h._default_child().cumulative()
+        assert cum == [(0.1, 1), (1.0, 3), (10.0, 4), (float("inf"), 5)]
+        assert h.count == 5
+        assert h.sum == pytest.approx(56.05)
+
+    def test_value_on_edge_lands_in_le_bucket(self, reg):
+        h = reg.histogram("lat", buckets=(1.0, 2.0))
+        h.observe(1.0)  # le="1.0" must include it (Prometheus semantics)
+        assert h._default_child().cumulative()[0] == (1.0, 1)
+
+    def test_buckets_sorted_and_deduped(self, reg):
+        h = reg.histogram("a", buckets=(3.0, 1.0, 2.0))
+        assert h.buckets == (1.0, 2.0, 3.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            reg.histogram("b", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="at least one"):
+            reg.histogram("c", buckets=())
+
+    def test_default_buckets(self, reg):
+        assert reg.histogram("lat").buckets == DEFAULT_TIME_BUCKETS
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self, reg):
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_mismatch_rejected(self, reg):
+        reg.counter("a")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            reg.gauge("a")
+
+    def test_label_mismatch_rejected(self, reg):
+        reg.counter("a", labelnames=("x",))
+        with pytest.raises(ValueError, match="already registered with labels"):
+            reg.counter("a", labelnames=("y",))
+
+    def test_bucket_mismatch_rejected(self, reg):
+        reg.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="already registered with buckets"):
+            reg.histogram("h", buckets=(1.0, 3.0))
+
+    def test_names_and_get(self, reg):
+        reg.counter("b")
+        reg.gauge("a")
+        assert reg.names() == ["a", "b"]
+        assert reg.get("a").kind == "gauge"
+        assert reg.get("missing") is None
+
+    def test_reset(self, reg):
+        reg.counter("a").inc()
+        reg.reset()
+        assert reg.names() == []
+
+
+class TestNullRegistry:
+    def test_all_accessors_share_one_noop(self):
+        null = NullRegistry()
+        c = null.counter("x", "help", labelnames=("a",))
+        assert c is NULL_INSTRUMENT
+        assert c.labels(a="1") is NULL_INSTRUMENT
+        # Every instrument method absorbs silently.
+        c.inc()
+        c.dec()
+        c.set(3)
+        c.observe(1.0)
+        assert null.collect() == []
+        assert null.names() == []
+        assert null.get("x") is None

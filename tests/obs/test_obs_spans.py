@@ -1,0 +1,164 @@
+"""Span tracer: nesting, timing, sim-domain records, and disabled mode."""
+
+import threading
+
+import repro.obs as obs
+from repro.obs.spans import NULL_SPAN_HANDLE, SpanTracer
+
+
+class TestSpanNesting:
+    def test_parent_child_edges(self):
+        t = SpanTracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                with t.span("leaf"):
+                    pass
+        outer = t.find("outer")[0]
+        inner = t.find("inner")[0]
+        leaf = t.find("leaf")[0]
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert leaf.parent_id == inner.span_id
+        assert [r.span_id for r in t.children_of(outer.span_id)] == [
+            inner.span_id
+        ]
+
+    def test_siblings_share_parent(self):
+        t = SpanTracer()
+        with t.span("parent"):
+            with t.span("a"):
+                pass
+            with t.span("b"):
+                pass
+        parent = t.find("parent")[0]
+        assert {r.name for r in t.children_of(parent.span_id)} == {"a", "b"}
+
+    def test_sequential_roots_do_not_nest(self):
+        t = SpanTracer()
+        with t.span("first"):
+            pass
+        with t.span("second"):
+            pass
+        assert t.find("second")[0].parent_id is None
+
+    def test_records_appended_innermost_first(self):
+        t = SpanTracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        assert [r.name for r in t.records] == ["inner", "outer"]
+
+
+class TestSpanTiming:
+    def test_child_contained_in_parent(self):
+        t = SpanTracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                sum(range(1000))
+        outer = t.find("outer")[0]
+        inner = t.find("inner")[0]
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+        assert inner.duration >= 0
+        assert outer.duration >= inner.duration
+
+    def test_fake_clock(self):
+        ticks = iter(range(100))
+        t = SpanTracer(clock=lambda: float(next(ticks)))
+        with t.span("a"):  # enter at t=1, exit at t=2 (epoch consumed 0)
+            pass
+        rec = t.find("a")[0]
+        assert rec.start == 1.0
+        assert rec.duration == 1.0
+
+    def test_attrs_via_handle(self):
+        t = SpanTracer()
+        with t.span("a", cat="x", k=1) as h:
+            h.set(extra=2)
+        rec = t.find("a")[0]
+        assert rec.cat == "x"
+        assert rec.attrs == {"k": 1, "extra": 2}
+
+
+class TestSimDomain:
+    def test_add_span_uses_explicit_times(self):
+        t = SpanTracer()
+        rec = t.add_span("step", start=10.0, duration=0.5, cat="engine.step")
+        assert rec.domain == "sim"
+        assert rec.start == 10.0
+        assert rec.end == 10.5
+
+    def test_sim_event_has_no_wall_parent(self):
+        t = SpanTracer()
+        with t.span("outer"):
+            rec = t.event("arrival", ts=3.0, domain="sim")
+        assert rec.parent_id is None
+        assert rec.instant
+
+    def test_wall_event_parents_under_current_span(self):
+        t = SpanTracer()
+        with t.span("outer"):
+            rec = t.event("marker")
+        assert rec.parent_id == t.find("outer")[0].span_id
+
+    def test_clear(self):
+        t = SpanTracer()
+        with t.span("a"):
+            pass
+        t.clear()
+        assert t.records == []
+
+
+class TestThreading:
+    def test_per_thread_stacks(self):
+        t = SpanTracer()
+        done = threading.Event()
+
+        def worker():
+            with t.span("worker"):
+                done.wait(timeout=5)
+
+        th = threading.Thread(target=worker)
+        with t.span("main"):
+            th.start()
+            # The other thread's open span must not become our parent.
+            with t.span("child"):
+                pass
+        done.set()
+        th.join()
+        child = t.find("child")[0]
+        assert child.parent_id == t.find("main")[0].span_id
+        assert t.find("worker")[0].parent_id is None
+
+
+class TestGlobalApi:
+    def test_disabled_span_is_shared_noop(self):
+        assert obs.span("anything") is NULL_SPAN_HANDLE
+        with obs.span("anything") as h:
+            h.set(k=1)  # absorbed
+        obs.event("nothing")  # no-op, no error
+        assert obs.tracer() is None
+        assert not obs.enabled()
+
+    def test_enable_disable_roundtrip(self):
+        reg, tr = obs.enable()
+        assert obs.enabled()
+        assert obs.metrics() is reg
+        assert obs.tracer() is tr
+        with obs.span("x"):
+            pass
+        assert len(tr.find("x")) == 1
+        obs.disable()
+        assert not obs.enabled()
+        assert obs.metrics().collect() == []
+
+    def test_enable_is_idempotent(self):
+        reg1, tr1 = obs.enable()
+        reg2, tr2 = obs.enable()
+        assert reg1 is reg2
+        assert tr1 is tr2
+
+    def test_enable_accepts_custom_collectors(self):
+        mine = SpanTracer()
+        _, tr = obs.enable(span_tracer=mine)
+        assert tr is mine

@@ -99,3 +99,69 @@ class TestEngineTracer:
     def test_step_trace_end(self):
         s = StepTrace(0, 1.0, 0.5, "decode", 2, 2, 0, 100)
         assert s.end == 1.5
+
+
+#: The legacy chrome-trace structure ``write_chrome_trace`` produced before
+#: the span-backed rewrite.  The export must stay byte-for-byte compatible.
+def legacy_chrome_events(steps):
+    return [
+        {
+            "name": f"{s.kind} b={s.batch}",
+            "cat": s.kind,
+            "ph": "X",
+            "ts": s.start * 1e6,
+            "dur": s.duration * 1e6,
+            "pid": 0,
+            "tid": 0,
+            "args": {
+                "decode_tokens": s.decode_tokens,
+                "prefill_tokens": s.prefill_tokens,
+                "context_tokens": s.context_tokens,
+            },
+        }
+        for s in steps
+    ]
+
+
+class TestSpanMigration:
+    """serving/trace.py now stores steps as obs span records."""
+
+    def test_chrome_trace_matches_legacy_format(self, tmp_path):
+        _, tracer = traced_run(max_batch=4)
+        path = tracer.write_chrome_trace(tmp_path / "trace.json")
+        blob = json.loads(path.read_text())
+        expected = {"traceEvents": legacy_chrome_events(tracer.steps)}
+        assert blob == json.loads(json.dumps(expected))
+
+    def test_steps_are_sim_domain_spans(self):
+        _, tracer = traced_run(max_batch=4)
+        spans = tracer.spans()
+        assert len(spans) == len(tracer.steps)
+        for span, step in zip(spans, tracer.steps):
+            assert span.domain == "sim"
+            assert span.cat == "engine.step"
+            assert span.start == step.start
+            assert span.duration == step.duration
+            assert span.attrs["kind"] == step.kind
+
+    def test_step_span_roundtrip(self):
+        s = StepTrace(3, 1.0, 0.5, "mixed", 4, 3, 16, 200)
+        assert StepTrace.from_span(s.to_span()) == s
+
+    def test_steps_forwarded_to_global_tracer_when_enabled(self):
+        import repro.obs as obs
+
+        obs.disable()
+        try:
+            _, tr = obs.enable()
+            _, tracer = traced_run(max_batch=4)
+            forwarded = [
+                r for r in tr.records
+                if r.cat == "engine.step" and r.domain == "sim"
+            ]
+            assert len(forwarded) == len(tracer.steps)
+            # Shared record objects: the EngineTracer keeps what the global
+            # tracer stored, not a copy.
+            assert set(map(id, tracer.spans())) <= set(map(id, tr.records))
+        finally:
+            obs.disable()

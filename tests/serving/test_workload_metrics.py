@@ -56,9 +56,15 @@ class TestWorkloadGenerators:
 
 
 class TestLatencyReport:
-    def test_requires_finished(self):
-        with pytest.raises(ValueError):
-            LatencyReport.from_requests([Request(0, 4, 4)])
+    def test_unfinished_requests_yield_zero_report(self):
+        rep = LatencyReport.from_requests([Request(0, 4, 4)])
+        assert rep == LatencyReport.zero()
+        assert rep.num_requests == 0
+        assert rep.ttft_mean == rep.tpot_p95 == rep.e2e_p50 == 0.0
+        assert "0 requests" in rep.summary()
+
+    def test_empty_list_yields_zero_report(self):
+        assert LatencyReport.from_requests([]) == LatencyReport.zero()
 
     def test_metrics_from_run(self):
         eng = engine(max_batch=8)

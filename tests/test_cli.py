@@ -12,7 +12,8 @@ class TestParser:
 
     def test_all_subcommands_registered(self):
         parser = build_parser()
-        for cmd in ("models", "kernels", "serve", "quantize", "roofline"):
+        for cmd in ("models", "kernels", "serve", "quantize", "roofline",
+                    "stats"):
             args = parser.parse_args([cmd] if cmd != "serve" else [cmd])
             assert args.command == cmd
 
@@ -136,6 +137,90 @@ class TestSelfcheck:
     def test_selfcheck_passes(self, capsys):
         assert main(["selfcheck", "--cases", "4"]) == 0
         assert "OK" in capsys.readouterr().out
+
+
+class TestStats:
+    @pytest.fixture(autouse=True)
+    def _obs_off(self):
+        import repro.obs as obs
+
+        obs.disable()
+        yield
+        obs.disable()
+
+    def test_stats_exercises_all_layers(self, tmp_path, capsys):
+        snap = tmp_path / "metrics.prom"
+        rc = main([
+            "stats", "--requests", "4", "--prompt", "64", "--out", "8",
+            "--emit-metrics", str(snap),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serving.ttft_seconds" in out
+        assert "fmpq.layers_calibrated_total" in out
+        # The Prometheus snapshot spans every instrumented layer with a
+        # healthy number of distinct metric families.
+        import re
+
+        text = snap.read_text()
+        names = set(re.findall(r"^# TYPE (\S+)", text, re.M))
+        assert len(names) >= 12
+        for prefix in ("fmpq.", "kernel.", "gpu.", "serving."):
+            assert any(n.startswith(prefix) for n in names), prefix
+        # Merged chrome trace: simulated timeline + wall-clock span tree.
+        import json
+
+        trace = json.loads((tmp_path / "metrics.prom.trace.json").read_text())
+        events = trace["traceEvents"]
+        pids = {e["pid"] for e in events if e["ph"] != "M"}
+        assert pids == {0, 1}
+        assert (tmp_path / "metrics.prom.json").exists()
+
+    def test_stats_without_snapshot(self, capsys):
+        assert main(["stats", "--requests", "2"]) == 0
+        assert "span / [event]" in capsys.readouterr().out
+
+
+class TestEmitMetrics:
+    @pytest.fixture(autouse=True)
+    def _obs_off(self):
+        import repro.obs as obs
+
+        obs.disable()
+        yield
+        obs.disable()
+
+    def test_serve_emit_metrics(self, tmp_path, capsys):
+        snap = tmp_path / "serve.prom"
+        rc = main([
+            "serve", "--model", "llama-3-8b", "--system", "comet",
+            "--prompt", "64", "--out", "8", "--batch", "4",
+            "--emit-metrics", str(snap),
+        ])
+        assert rc == 0
+        text = snap.read_text()
+        assert "serving.ttft_seconds" in text
+        assert "kernel.latency_calls_total" in text
+        # The EngineTracer's simulated steps reach the merged trace.
+        import json
+
+        trace = json.loads((tmp_path / "serve.prom.trace.json").read_text())
+        sim = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["pid"] == 0
+        ]
+        assert sim
+
+    def test_kernels_emit_metrics(self, tmp_path, capsys):
+        snap = tmp_path / "kernels.prom"
+        rc = main([
+            "kernels", "--model", "llama-2-7b", "--batch", "8",
+            "--kernel", "comet-w4ax", "--emit-metrics", str(snap),
+        ])
+        assert rc == 0
+        text = snap.read_text()
+        assert "kernel.latency_seconds" in text
+        assert "gpu.sm_occupancy" in text
 
 
 class TestSweep:
