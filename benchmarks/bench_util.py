@@ -9,6 +9,7 @@ capture, and are also printed (visible with ``pytest -s``).
 from __future__ import annotations
 
 import atexit
+import json
 import os
 from pathlib import Path
 
@@ -79,6 +80,20 @@ def emit(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text)
     print("\n" + text)
+
+
+def emit_json(name: str, payload: dict) -> Path:
+    """Write a machine-readable result to ``results/{name}.json``.
+
+    Companion to :func:`emit` for benchmarks whose numbers feed trend
+    tracking (e.g. the CI ``bench-smoke`` artifact): same results
+    directory, one JSON document per benchmark.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[bench] wrote {path}")
+    return path
 
 
 def _fmt(cell) -> str:

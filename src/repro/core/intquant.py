@@ -199,6 +199,10 @@ def pack_int4(values: np.ndarray) -> np.ndarray:
     high nibble, matching the little-endian layout the W4Ax kernel loads with
     ``ldmatrix``.  The last axis length must be even.
 
+    Batched: leading axes pass through untouched, so a stacked
+    ``(groups, out, k)`` tensor packs in one call — this is how the batched
+    :class:`repro.kernels.functional.PackedW4AxGEMM` stores all its groups.
+
     Returns:
         ``uint8`` array whose last axis is half the input's.
     """
@@ -216,7 +220,11 @@ def pack_int4(values: np.ndarray) -> np.ndarray:
 
 
 def unpack_int4(packed: np.ndarray) -> np.ndarray:
-    """Inverse of :func:`pack_int4`; returns signed ``int8`` codes."""
+    """Inverse of :func:`pack_int4`; returns signed ``int8`` codes.
+
+    Batched like :func:`pack_int4`: leading axes pass through, so a whole
+    stack of packed groups unpacks in one call.
+    """
     packed = np.asarray(packed, dtype=np.uint8)
     lo = (packed & 0xF).astype(np.int8)
     hi = (packed >> 4).astype(np.int8)
@@ -235,7 +243,7 @@ def pack_int4_words(values: np.ndarray) -> np.ndarray:
     This is the register-resident format used by the fast INT4->INT8
     conversion (paper Figure 7): value ``4i + j`` occupies bits
     ``[4j, 4j + 4)`` of word ``i``.  The last axis length must be a multiple
-    of four.
+    of four.  Leading axes pass through, so stacked groups pack in one call.
     """
     values = np.asarray(values)
     if values.shape[-1] % 4 != 0:

@@ -14,14 +14,22 @@ Two granularities are provided:
   the sequence grows without rewriting history;
 * ``per_token``: one (scale, zero) per token vector — the KVQuant-style
   alternative used for comparison in tests.
+
+Reads are **incremental** (see :meth:`QuantizedKVCache.dequantized`): the
+dequantized values of sealed groups are memoized in a contiguous buffer the
+first time they are read, so a decode step only dequantizes groups sealed
+since the previous read plus the pending (unsealed) tail.  This is what
+keeps decode attention O(new tokens) per step instead of O(history) — the
+Python-level analogue of the fused dequant-on-load attention kernel.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.intquant import (
     INT4,
     QuantSpec,
@@ -31,6 +39,9 @@ from repro.core.intquant import (
 )
 
 __all__ = ["KVQuantConfig", "QuantizedKVCache"]
+
+#: Initial token capacity of the memoized dequantization buffer.
+_INITIAL_CAPACITY = 64
 
 
 @dataclass(frozen=True)
@@ -76,35 +87,62 @@ class KVQuantConfig:
 
 
 @dataclass
-class _TokenGroup:
-    """A group of tokens quantized with shared per-channel parameters."""
+class _SealedGroup:
+    """Tokens whose quantization parameters are frozen.
 
-    codes: list[np.ndarray] = field(default_factory=list)
-    floats: list[np.ndarray] = field(default_factory=list)
-    scale: np.ndarray | None = None
-    zero: np.ndarray | None = None
+    ``codes`` holds the stacked integer codes ``(tokens, *trailing)``;
+    ``scale`` / ``zero`` broadcast against ``codes`` (shape ``(1, *trailing)``
+    for per-channel groups, ``(tokens, 1, ...)`` for per-token batches).
+    """
+
+    codes: np.ndarray
+    scale: np.ndarray
+    zero: np.ndarray
+
+    @property
+    def tokens(self) -> int:
+        return int(self.codes.shape[0])
 
 
 class QuantizedKVCache:
     """An append-only quantized cache for one (layer, K-or-V) tensor stream.
 
     Tokens are appended as float vectors of shape ``(num_heads, head_dim)``
-    (or any fixed trailing shape) and read back dequantized as a stacked
-    array of shape ``(tokens, *trailing)``.
+    (or any fixed trailing shape) — one at a time via :meth:`append` or as a
+    whole ``(tokens, *trailing)`` slab via :meth:`extend` — and read back
+    dequantized as a stacked array of shape ``(tokens, *trailing)``.
 
     In ``per_channel`` mode, tokens accumulate in a pending buffer; once
     ``group_size`` tokens arrive, the group is *sealed*: per-channel
     asymmetric parameters are fit over the group and the codes frozen.
     Pending (unsealed) tokens are quantized on read with provisional
     parameters, mirroring how a real kernel would handle the ragged tail.
+
+    **Caching invariant:** a sealed group's dequantized values never change
+    (the cache is append-only and parameters freeze at seal time), so they
+    are dequantized exactly once into an internal buffer and reused by every
+    later read.  Only the pending tail — whose provisional parameters are
+    re-fit as tokens arrive — is re-dequantized, and only when it changed
+    since the last read.  :meth:`dequantized` therefore returns a *read-only
+    view* of the buffer, valid until the next append; call ``.copy()`` to
+    keep a snapshot across appends.
     """
 
     def __init__(self, config: KVQuantConfig):
         self.config = config
-        self._sealed: list[_TokenGroup] = []
-        self._pending: list[np.ndarray] = []
+        self._sealed: list[_SealedGroup] = []
+        self._pending: list[np.ndarray] = []  # float slabs, per_channel only
+        self._pending_tokens = 0
         self._trailing_shape: tuple[int, ...] | None = None
         self._num_tokens = 0
+        # Incremental dequantization state: `_buf[:_final_tokens]` holds the
+        # memoized dequantized values of `_final_groups` sealed groups (plus
+        # raw floats in passthrough mode); the tail after `_final_tokens` is
+        # scratch space for the pending tokens, rewritten when stale.
+        self._buf: np.ndarray | None = None
+        self._final_tokens = 0
+        self._final_groups = 0
+        self._tail_stale = True
 
     def __len__(self) -> int:
         return self._num_tokens
@@ -112,6 +150,8 @@ class QuantizedKVCache:
     @property
     def trailing_shape(self) -> tuple[int, ...] | None:
         return self._trailing_shape
+
+    # ------------------------------------------------------------- writes
 
     def append(self, value: np.ndarray) -> None:
         """Append one token's K or V tensor."""
@@ -122,48 +162,174 @@ class QuantizedKVCache:
             raise ValueError(
                 f"token shape {value.shape} != cache shape {self._trailing_shape}"
             )
-        self._num_tokens += 1
+        self._extend_validated(value[None])
+
+    def extend(self, values: np.ndarray) -> None:
+        """Append a whole ``(tokens, *trailing)`` slab in one call.
+
+        Equivalent to ``for t in values: cache.append(t)`` but vectorized:
+        aligned full groups are sealed straight from the slab and per-token
+        parameters are fit for all tokens at once.
+        """
+        values = np.asarray(values, dtype=np.float32)
+        if values.ndim == 0:
+            raise ValueError("extend expects a (tokens, *trailing) slab")
+        if values.shape[0] == 0:
+            return
+        if self._trailing_shape is None:
+            self._trailing_shape = values.shape[1:]
+        elif values.shape[1:] != self._trailing_shape:
+            raise ValueError(
+                f"token shape {values.shape[1:]} != cache shape "
+                f"{self._trailing_shape}"
+            )
+        self._extend_validated(values)
+
+    def _extend_validated(self, values: np.ndarray) -> None:
+        n = values.shape[0]
+        self._num_tokens += n
+        self._tail_stale = True
         if not self.config.enabled:
-            self._pending.append(value)
+            # Passthrough floats are final on arrival: write them straight
+            # into the memo buffer.
+            self._ensure_capacity(self._num_tokens)
+            self._buf[self._final_tokens : self._final_tokens + n] = values
+            self._final_tokens += n
             return
         if self.config.granularity == "per_token":
-            scale, zero = asymmetric_scale_zero(value, self.config.spec, axis=None)
-            codes = quantize_asymmetric(value, scale, zero, self.config.spec)
-            group = _TokenGroup(codes=[codes], scale=scale, zero=zero)
-            self._sealed.append(group)
+            axes = tuple(range(1, values.ndim))
+            scale, zero = asymmetric_scale_zero(
+                values, self.config.spec, axis=axes
+            )
+            codes = quantize_asymmetric(values, scale, zero, self.config.spec)
+            self._sealed.append(_SealedGroup(codes=codes, scale=scale, zero=zero))
             return
-        self._pending.append(value)
-        if len(self._pending) == self.config.group_size:
-            self._seal_pending()
+        g = self.config.group_size
+        start = 0
+        # Top off a partially filled pending group first.
+        if self._pending_tokens:
+            take = min(g - self._pending_tokens, n)
+            self._pending.append(values[:take])
+            self._pending_tokens += take
+            start = take
+            if self._pending_tokens == g:
+                self._seal(np.concatenate(self._pending, axis=0))
+                self._pending = []
+                self._pending_tokens = 0
+        # Seal aligned full groups straight from the slab.
+        while n - start >= g:
+            self._seal(values[start : start + g])
+            start += g
+        if start < n:
+            self._pending.append(values[start:])
+            self._pending_tokens += n - start
 
-    def _seal_pending(self) -> None:
-        stacked = np.stack(self._pending)  # (g, *trailing)
+    def _seal(self, stacked: np.ndarray) -> None:
+        """Freeze per-channel parameters over a full ``(group, *trailing)`` stack."""
         scale, zero = asymmetric_scale_zero(stacked, self.config.spec, axis=0)
         codes = quantize_asymmetric(stacked, scale, zero, self.config.spec)
-        self._sealed.append(
-            _TokenGroup(codes=list(codes), scale=scale[0], zero=zero[0])
-        )
-        self._pending = []
+        self._sealed.append(_SealedGroup(codes=codes, scale=scale, zero=zero))
+
+    # -------------------------------------------------------------- reads
 
     def dequantized(self) -> np.ndarray:
-        """Return the full cache contents as float32 ``(tokens, *trailing)``."""
+        """The full cache contents as float32 ``(tokens, *trailing)``.
+
+        Incremental: sealed groups not yet memoized are dequantized once
+        (a *miss*), previously memoized groups are reused (a *hit*), and the
+        pending tail is re-dequantized only if it changed since the last
+        read.  The returned array is a read-only view into the memo buffer —
+        valid until the next append; ``.copy()`` it to keep a snapshot.
+        """
+        if self._num_tokens == 0:
+            shape = (0,) + (self._trailing_shape or ())
+            return np.zeros(shape, dtype=np.float32)
+        self._ensure_capacity(self._num_tokens)
+        self._materialize_sealed()
+        self._write_tail()
+        out = self._buf[: self._num_tokens]
+        out.flags.writeable = False
+        return out
+
+    def dequantized_uncached(self) -> np.ndarray:
+        """Reference read path: re-dequantize everything from stored codes.
+
+        Bypasses the memo buffer entirely — this is the pre-memoization
+        O(history) behaviour, kept as the oracle for the bit-exactness tests
+        and the perf harness baseline.
+        """
         if self._num_tokens == 0:
             shape = (0,) + (self._trailing_shape or ())
             return np.zeros(shape, dtype=np.float32)
         if not self.config.enabled:
-            return np.stack(self._pending)
-        parts: list[np.ndarray] = []
-        for group in self._sealed:
-            stacked = np.stack(group.codes)
-            parts.append(
-                dequantize_asymmetric(stacked, group.scale, group.zero)
+            return np.array(self._buf[: self._num_tokens], dtype=np.float32)
+        parts = [
+            dequantize_asymmetric(group.codes, group.scale, group.zero)
+            for group in self._sealed
+        ]
+        if self._pending_tokens:
+            stacked = np.concatenate(self._pending, axis=0)
+            scale, zero = asymmetric_scale_zero(
+                stacked, self.config.spec, axis=0
             )
-        if self._pending:
-            stacked = np.stack(self._pending)
-            scale, zero = asymmetric_scale_zero(stacked, self.config.spec, axis=0)
             codes = quantize_asymmetric(stacked, scale, zero, self.config.spec)
             parts.append(dequantize_asymmetric(codes, scale, zero))
         return np.concatenate(parts, axis=0)
+
+    # --------------------------------------------------- incremental memo
+
+    def _ensure_capacity(self, tokens: int) -> None:
+        trailing = self._trailing_shape or ()
+        if self._buf is None:
+            cap = max(tokens, _INITIAL_CAPACITY)
+            self._buf = np.empty((cap,) + trailing, dtype=np.float32)
+        elif self._buf.shape[0] < tokens:
+            cap = max(tokens, self._buf.shape[0] * 2)
+            grown = np.empty((cap,) + trailing, dtype=np.float32)
+            grown[: self._final_tokens] = self._buf[: self._final_tokens]
+            self._buf = grown
+
+    def _materialize_sealed(self) -> None:
+        """Dequantize sealed groups that are not in the memo buffer yet."""
+        hits = self._final_groups
+        misses = len(self._sealed) - self._final_groups
+        for group in self._sealed[self._final_groups :]:
+            end = self._final_tokens + group.tokens
+            self._buf[self._final_tokens : end] = dequantize_asymmetric(
+                group.codes, group.scale, group.zero
+            )
+            self._final_tokens = end
+        self._final_groups = len(self._sealed)
+        if obs.enabled():
+            metrics = obs.metrics()
+            if hits:
+                metrics.counter(
+                    "kvcache.groups_dequant_cached_hits_total",
+                    obs.metric_help("kvcache.groups_dequant_cached_hits_total"),
+                ).inc(hits)
+            if misses:
+                metrics.counter(
+                    "kvcache.groups_dequant_cached_misses_total",
+                    obs.metric_help("kvcache.groups_dequant_cached_misses_total"),
+                ).inc(misses)
+
+    def _write_tail(self) -> None:
+        """(Re)dequantize the pending tail with provisional parameters."""
+        if not self._pending_tokens:
+            self._tail_stale = False
+            return
+        if not self._tail_stale:
+            return
+        stacked = np.concatenate(self._pending, axis=0)
+        scale, zero = asymmetric_scale_zero(stacked, self.config.spec, axis=0)
+        codes = quantize_asymmetric(stacked, scale, zero, self.config.spec)
+        end = self._final_tokens + self._pending_tokens
+        self._buf[self._final_tokens : end] = dequantize_asymmetric(
+            codes, scale, zero
+        )
+        self._tail_stale = False
+
+    # ---------------------------------------------------------- accounting
 
     def memory_bytes(self) -> float:
         """Current storage footprint under the configured format."""

@@ -48,6 +48,8 @@ def pack_int4_words_swapped(values: np.ndarray) -> np.ndarray:
     Logical values ``(v0, v1, v2, v3)`` are stored in nibbles
     ``(0, 2, 1, 3)`` — i.e. bit layout ``[v3 | v1 | v2 | v0]`` — which is
     the location switch enabling single-mask extraction (Figure 7b).
+    Leading axes pass through, so a stacked ``(groups, out, k)`` weight
+    tensor packs in one call.
     """
     values = np.asarray(values)
     if values.shape[-1] % 4 != 0:
@@ -82,7 +84,9 @@ def fast_int4to8(words_swapped: np.ndarray) -> np.ndarray:
     """The 2-instruction conversion (Figure 7b), bit-exact emulation.
 
     Args:
-        words_swapped: uint16 words from :func:`pack_int4_words_swapped`.
+        words_swapped: uint16 words from :func:`pack_int4_words_swapped`;
+            any leading (batch/stack) axes pass through, so the conversion
+            can be applied to a whole stack of packed groups at once.
 
     Returns:
         int8 array with 4 values per word, each equal to ``16 *`` the

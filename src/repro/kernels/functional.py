@@ -19,6 +19,14 @@ W4A4 path (per INT4 block):
     (:func:`repro.core.intquant.pack_int4`) and unpack straight into the
     INT4 tensor-core GEMM.
 
+Execution is **batched by precision** (the vectorized hot path): packed
+groups live in stacked 3-D arrays ``(groups, out, packed_k)``, the channel
+blocks are partitioned into the W4A4 and W4A8 sets once, and each set runs
+as a single stacked integer matmul with the fast conversion applied to the
+whole W4A8 stack at once.  :meth:`PackedW4AxGEMM.run_per_block` keeps the
+original one-block-at-a-time loop as the oracle for the bit-exactness tests
+and the perf-regression harness.
+
 This is the executable specification of paper Section 4.3.
 """
 
@@ -26,7 +34,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.blockwise import QuantizedActivation
+import repro.obs as obs
+from repro.core.blockwise import BlockPrecisionPlan, QuantizedActivation
 from repro.core.intquant import pack_int4, unpack_int4
 from repro.core.weightquant import QuantizedWeight
 from repro.kernels.conversion import (
@@ -38,28 +47,61 @@ from repro.kernels.conversion import (
 __all__ = ["PackedW4AxGEMM"]
 
 
-class PackedW4AxGEMM:
-    """A W4Ax GEMM operating on packed storage, block by block.
+def _matmul_operand(stack: np.ndarray) -> np.ndarray:
+    """Lay a ``(groups, out, k)`` code stack out as float64 ``(groups, k, out)``.
 
-    Construction packs the weight once (mirroring the offline weight
-    repacking a serving system performs at load time); :meth:`run` then
-    executes one GEMM against a block-quantized activation.
+    The stacked GEMM runs on float64 operands so numpy dispatches to BLAS.
+    This is still *exact* integer arithmetic: every code product is at most
+    ``128 * 128 = 2**14`` in magnitude, so all partial sums stay far below
+    ``2**53`` and each float64 addition is exact — the accumulator holds the
+    same integers the int32/int64 tensor-core accumulator would, in any
+    summation order.
+    """
+    return np.ascontiguousarray(stack.transpose(0, 2, 1), dtype=np.float64)
+
+
+class PackedW4AxGEMM:
+    """A W4Ax GEMM operating on packed storage, batched by block precision.
+
+    Construction packs the weight once into stacked per-group arrays
+    (mirroring the offline weight repacking a serving system performs at
+    load time); :meth:`run` then executes one GEMM against a
+    block-quantized activation as two stacked matmuls — one over all INT4
+    blocks, one over all INT8 blocks.
+
+    Args:
+        qweight: group-quantized INT4 weight.
+        plan: optional activation precision plan.  When the plan is known at
+            load time (it is fixed per layer after FMPQ calibration), the
+            block partition and the converted weight stacks are precomputed
+            here so :meth:`run` does no per-call conversion work.
     """
 
-    def __init__(self, qweight: QuantizedWeight):
+    def __init__(
+        self, qweight: QuantizedWeight, plan: BlockPrecisionPlan | None = None
+    ):
         if qweight.spec.bits != 4:
             raise ValueError("PackedW4AxGEMM requires INT4 weights")
         self.qweight = qweight
         self.group_size = qweight.group_size
-        # Offline repacking: swapped word order for the W4A8 fast path,
-        # plain nibbles for the W4A4 path.
-        self._packed_swapped = [
-            pack_int4_words_swapped(qweight.group_codes(g))
-            for g in range(qweight.num_groups)
-        ]
-        self._packed_nibbles = [
-            pack_int4(qweight.group_codes(g)) for g in range(qweight.num_groups)
-        ]
+        # Offline repacking: stack every group's codes along a leading axis
+        # — (groups, out, group_size) — then pack the whole stack at once:
+        # swapped word order for the W4A8 fast path, plain nibbles for the
+        # W4A4 path.
+        codes = qweight.codes.reshape(
+            qweight.out_features, qweight.num_groups, self.group_size
+        ).transpose(1, 0, 2)
+        self._packed_swapped = pack_int4_words_swapped(codes)
+        self._packed_nibbles = pack_int4(codes)
+        # (groups, out) weight scales, leading axis aligned with the stacks.
+        self._scales = np.ascontiguousarray(qweight.scales.T)
+        self._prepared_plan: BlockPrecisionPlan | None = None
+        self._w8_stack: np.ndarray | None = None
+        self._w4_stack: np.ndarray | None = None
+        self._high_idx: np.ndarray | None = None
+        self._low_idx: np.ndarray | None = None
+        if plan is not None:
+            self._prepare_plan(plan)
 
     @property
     def out_features(self) -> int:
@@ -68,6 +110,24 @@ class PackedW4AxGEMM:
     @property
     def in_features(self) -> int:
         return self.qweight.in_features
+
+    def _prepare_plan(self, plan: BlockPrecisionPlan) -> None:
+        """Partition blocks by precision and pre-convert the weight stacks."""
+        if plan.num_blocks != self.qweight.num_groups:
+            raise ValueError("plan blocks must match weight groups")
+        self._prepared_plan = plan
+        self._high_idx = np.flatnonzero(plan.is_high)
+        self._low_idx = np.flatnonzero(~plan.is_high)
+        # Load-time conversion of the whole stacks, laid out (groups, k, out)
+        # for the stacked matmul.
+        self._w8_stack = _matmul_operand(
+            fast_int4to8(self._packed_swapped[self._high_idx])
+        )
+        self._w4_stack = _matmul_operand(
+            unpack_int4(self._packed_nibbles[self._low_idx])
+        )
+
+    # ------------------------------------------------------ per-block oracle
 
     def _w4a8_block(self, qact: QuantizedActivation, block: int) -> np.ndarray:
         """INT8 tensor-core path with on-the-fly fast conversion."""
@@ -94,18 +154,89 @@ class PackedW4AxGEMM:
         )
         return acc.astype(np.float64) * scale
 
-    def run(self, qact: QuantizedActivation) -> np.ndarray:
-        """Execute the mixed-precision GEMM from packed storage."""
-        if qact.plan.config.block_size != self.group_size:
-            raise ValueError(
-                "activation block size must equal weight group size"
-            )
-        if qact.plan.num_channels != self.in_features:
-            raise ValueError("channel mismatch")
+    def run_per_block(self, qact: QuantizedActivation) -> np.ndarray:
+        """The pre-batching execution path: one Python iteration per block.
+
+        Kept as the oracle for the bit-exactness tests and the baseline for
+        ``benchmarks/bench_hotpath.py``; :meth:`run` must agree with this
+        bit-for-bit.
+        """
+        self._validate(qact)
         out = np.zeros((qact.num_tokens, self.out_features), dtype=np.float64)
         for b in range(qact.plan.num_blocks):
             if qact.plan.is_high[b]:
                 out += self._w4a8_block(qact, b)
             else:
                 out += self._w4a4_block(qact, b)
+        return out.astype(np.float32)
+
+    # ----------------------------------------------------------- batched run
+
+    def _validate(self, qact: QuantizedActivation) -> None:
+        if qact.plan.config.block_size != self.group_size:
+            raise ValueError(
+                "activation block size must equal weight group size"
+            )
+        if qact.plan.num_channels != self.in_features:
+            raise ValueError("channel mismatch")
+
+    def run(self, qact: QuantizedActivation) -> np.ndarray:
+        """Execute the mixed-precision GEMM from packed storage, batched.
+
+        All W4A4 blocks run as one stacked int64 matmul and all W4A8 blocks
+        as another (fast conversion applied to the whole stack at once);
+        per-block contributions are then accumulated in the original block
+        order so the result is bit-identical to :meth:`run_per_block`.
+        """
+        self._validate(qact)
+        plan = qact.plan
+        tokens = qact.num_tokens
+        num_blocks = plan.num_blocks
+        if plan is self._prepared_plan:
+            high_idx, low_idx = self._high_idx, self._low_idx
+            w8_stack, w4_stack = self._w8_stack, self._w4_stack
+        else:
+            high_idx = np.flatnonzero(plan.is_high)
+            low_idx = np.flatnonzero(~plan.is_high)
+            # On-the-fly conversion, whole stack at once per precision.
+            w8_stack = _matmul_operand(fast_int4to8(self._packed_swapped[high_idx]))
+            w4_stack = _matmul_operand(unpack_int4(self._packed_nibbles[low_idx]))
+        # (tokens, blocks, k) view of the activation codes.
+        acodes = qact.codes.reshape(tokens, num_blocks, self.group_size)
+        scales_t = qact.scales.T
+        contrib = np.empty(
+            (num_blocks, tokens, self.out_features), dtype=np.float64
+        )
+        if low_idx.size:
+            a4 = acodes[:, low_idx].transpose(1, 0, 2).astype(np.float64)
+            acc = a4 @ w4_stack  # (L, tokens, out) exact integer values
+            scale = (
+                scales_t[low_idx][:, :, None]
+                * self._scales[low_idx][:, None, :]
+            )
+            contrib[low_idx] = acc * scale
+        if high_idx.size:
+            a8 = acodes[:, high_idx].transpose(1, 0, 2).astype(np.float64)
+            acc = a8 @ w8_stack  # (H, tokens, out) exact integer values
+            scale = (
+                scales_t[high_idx][:, :, None]
+                * self._scales[high_idx][:, None, :]
+                / FAST_CONVERSION_SCALE_DIVISOR
+            )
+            contrib[high_idx] = acc * scale
+        # Accumulate in block order — bit-identical to the per-block loop.
+        out = np.zeros((tokens, self.out_features), dtype=np.float64)
+        for b in range(num_blocks):
+            out += contrib[b]
+        if obs.enabled():
+            obs.metrics().counter(
+                "kernel.gemm_blocks_batched_total",
+                obs.metric_help("kernel.gemm_blocks_batched_total"),
+                labelnames=("precision",),
+            ).labels(precision="int4").inc(int(low_idx.size))
+            obs.metrics().counter(
+                "kernel.gemm_blocks_batched_total",
+                obs.metric_help("kernel.gemm_blocks_batched_total"),
+                labelnames=("precision",),
+            ).labels(precision="int8").inc(int(high_idx.size))
         return out.astype(np.float32)

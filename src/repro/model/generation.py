@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.core.kvquant import KVQuantConfig
@@ -9,6 +11,33 @@ from repro.model.transformer import Transformer
 from repro.model.tensorops import softmax
 
 __all__ = ["greedy_generate", "sample_generate"]
+
+
+def _decode_loop(
+    model: Transformer,
+    prompt: np.ndarray,
+    max_new_tokens: int,
+    kv_config: KVQuantConfig | None,
+    select_token: Callable[[np.ndarray], int],
+) -> np.ndarray:
+    """Shared prefill + decode scaffolding.
+
+    Validates the prompt, prefills the (possibly quantized) KV cache, then
+    repeatedly applies ``select_token`` to the last-position logits and
+    feeds the chosen token back — the only thing the public entry points
+    differ in is the token-selection function.
+    """
+    prompt = np.asarray(prompt)
+    if prompt.ndim != 1 or prompt.shape[0] == 0:
+        raise ValueError("prompt must be a non-empty 1-D token array")
+    cache = model.new_cache(kv_config)
+    logits = model.forward(prompt, cache)  # prefill
+    generated: list[int] = []
+    for _ in range(max_new_tokens):
+        next_token = select_token(logits[-1])
+        generated.append(next_token)
+        logits = model.forward(np.array([next_token]), cache)  # decode step
+    return np.asarray(generated)
 
 
 def greedy_generate(
@@ -29,18 +58,13 @@ def greedy_generate(
     Returns:
         int array of the ``max_new_tokens`` generated token ids.
     """
-    prompt = np.asarray(prompt)
-    if prompt.ndim != 1 or prompt.shape[0] == 0:
-        raise ValueError("prompt must be a non-empty 1-D token array")
-    cache = model.new_cache(kv_config)
-    logits = model.forward(prompt, cache)  # prefill
-    generated: list[int] = []
-    next_token = int(np.argmax(logits[-1]))
-    for _ in range(max_new_tokens):
-        generated.append(next_token)
-        logits = model.forward(np.array([next_token]), cache)  # decode step
-        next_token = int(np.argmax(logits[-1]))
-    return np.asarray(generated)
+    return _decode_loop(
+        model,
+        prompt,
+        max_new_tokens,
+        kv_config,
+        lambda logits: int(np.argmax(logits)),
+    )
 
 
 def sample_generate(
@@ -54,16 +78,10 @@ def sample_generate(
     """Temperature sampling with a (possibly quantized) KV cache."""
     if temperature <= 0:
         raise ValueError("temperature must be positive; use greedy_generate")
-    prompt = np.asarray(prompt)
-    if prompt.ndim != 1 or prompt.shape[0] == 0:
-        raise ValueError("prompt must be a non-empty 1-D token array")
     rng = np.random.default_rng(seed)
-    cache = model.new_cache(kv_config)
-    logits = model.forward(prompt, cache)
-    generated: list[int] = []
-    for _ in range(max_new_tokens):
-        probs = softmax(logits[-1] / temperature)
-        token = int(rng.choice(probs.shape[0], p=probs / probs.sum()))
-        generated.append(token)
-        logits = model.forward(np.array([token]), cache)
-    return np.asarray(generated)
+
+    def select(logits: np.ndarray) -> int:
+        probs = softmax(logits / temperature)
+        return int(rng.choice(probs.shape[0], p=probs / probs.sum()))
+
+    return _decode_loop(model, prompt, max_new_tokens, kv_config, select)

@@ -34,12 +34,17 @@ class LayerKVCache:
         """
         if k_tokens.shape != v_tokens.shape:
             raise ValueError("K and V token shapes must match")
-        for t in range(k_tokens.shape[0]):
-            self.k.append(k_tokens[t])
-            self.v.append(v_tokens[t])
+        self.k.extend(k_tokens)
+        self.v.extend(v_tokens)
 
     def read(self) -> tuple[np.ndarray, np.ndarray]:
-        """Dequantized ``(K, V)`` each of shape ``(tokens, kv_heads, hd)``."""
+        """Dequantized ``(K, V)`` each of shape ``(tokens, kv_heads, hd)``.
+
+        Incremental: only groups sealed since the last read (plus the
+        pending tail) are dequantized — see
+        :meth:`repro.core.kvquant.QuantizedKVCache.dequantized`.  The
+        returned arrays are read-only views valid until the next append.
+        """
         return self.k.dequantized(), self.v.dequantized()
 
     def memory_bytes(self) -> float:

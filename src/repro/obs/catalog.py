@@ -6,6 +6,7 @@ can enumerate what the system emits.  Names are namespaced by layer:
 
 * ``fmpq.*``    — the quantization pipeline (paper Section 3);
 * ``kernel.*``  — the W4Ax / baseline GEMM kernel timing model (Section 4);
+* ``kvcache.*`` — the quantized KV cache read/write hot path (Section 3.2);
 * ``gpu.*``     — the SM tile-schedule simulator (Section 4.4);
 * ``serving.*`` — the continuous-batching engine and paged KV (Section 5).
 """
@@ -44,6 +45,17 @@ METRIC_CATALOG: dict[str, tuple[str, str]] = {
         "counter", "Tiles whose shared-memory feed serializes (conflicts)."),
     "kernel.w4ax_int8_fraction": (
         "gauge", "W4A8 (INT8) k-slice fraction of the last W4Ax GEMM."),
+    "kernel.gemm_blocks_batched_total": (
+        "counter",
+        "Channel blocks executed through the batched packed-GEMM paths, "
+        "by precision (int4/int8)."),
+    # ------------------------------------------------------------- kvcache
+    "kvcache.groups_dequant_cached_hits_total": (
+        "counter",
+        "Sealed KV groups served from the memoized dequantization buffer."),
+    "kvcache.groups_dequant_cached_misses_total": (
+        "counter",
+        "Sealed KV groups dequantized for the first time and memoized."),
     # ----------------------------------------------------------------- gpu
     "gpu.schedules_total": (
         "counter", "Tile schedules simulated, by scheduling policy."),

@@ -1,0 +1,145 @@
+"""Bit-exactness and caching-invariant tests for incremental KV4 reads.
+
+``QuantizedKVCache.dequantized()`` memoizes sealed groups; these tests pin
+it bitwise to ``dequantized_uncached()`` — the pre-memoization full
+re-dequantization path — across random group sizes, slab/append mixes,
+ragged final groups, interleaved reads, and empty caches.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.obs as obs
+from repro.core.kvquant import KVQuantConfig, QuantizedKVCache
+
+
+def _slab(n, heads=2, dim=4, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(scale=scale, size=(n, heads, dim)).astype(np.float32)
+
+
+class TestIncrementalBitExactness:
+    @given(
+        st.integers(0, 40),
+        st.integers(1, 9),
+        st.integers(0, 2**32 - 1),
+        st.sampled_from(["per_channel", "per_token"]),
+        st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_equals_full_redequant(
+        self, n, group, seed, granularity, enabled
+    ):
+        """Memoized reads == the O(history) reference, bit for bit."""
+        cfg = KVQuantConfig(
+            granularity=granularity, group_size=group, enabled=enabled
+        )
+        cache = QuantizedKVCache(cfg)
+        cache.extend(_slab(n, seed=seed))
+        assert np.array_equal(
+            cache.dequantized(), cache.dequantized_uncached()
+        )
+
+    @given(
+        st.lists(st.integers(0, 7), min_size=1, max_size=12),
+        st.integers(1, 6),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_interleaved_reads_stay_exact(self, slabs, group, seed):
+        """Reading between appends never changes what a later read returns."""
+        cfg = KVQuantConfig(group_size=group)
+        cache = QuantizedKVCache(cfg)
+        for i, n in enumerate(slabs):
+            cache.extend(_slab(n, seed=seed + i))
+            assert np.array_equal(
+                cache.dequantized(), cache.dequantized_uncached()
+            )
+
+    @given(st.integers(1, 30), st.integers(2, 8), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_extend_matches_per_token_append(self, n, group, seed):
+        """One slab extend is bitwise identical to n single appends."""
+        slab = _slab(n, seed=seed)
+        a = QuantizedKVCache(KVQuantConfig(group_size=group))
+        b = QuantizedKVCache(KVQuantConfig(group_size=group))
+        a.extend(slab)
+        for token in slab:
+            b.append(token)
+        assert np.array_equal(a.dequantized(), b.dequantized())
+        assert len(a) == len(b) == n
+
+    def test_ragged_final_group(self):
+        """A pending tail shorter than group_size dequantizes exactly."""
+        cache = QuantizedKVCache(KVQuantConfig(group_size=8))
+        cache.extend(_slab(19, seed=3))  # 2 sealed groups + 3 ragged tokens
+        out = cache.dequantized()
+        assert out.shape == (19, 2, 4)
+        assert np.array_equal(out, cache.dequantized_uncached())
+
+    def test_empty_cache(self):
+        cache = QuantizedKVCache(KVQuantConfig())
+        assert cache.dequantized().shape == (0,)
+        assert cache.dequantized_uncached().shape == (0,)
+        cache.extend(_slab(0))
+        assert len(cache) == 0
+        assert cache.dequantized().shape == (0,)
+
+
+class TestCachingInvariants:
+    def test_sealed_values_never_rewritten(self):
+        """Memoized sealed tokens are stable across later outlier appends."""
+        cache = QuantizedKVCache(KVQuantConfig(group_size=4))
+        cache.extend(_slab(4, seed=5))
+        first = cache.dequantized().copy()
+        cache.extend(_slab(4, seed=6, scale=50.0))
+        assert np.array_equal(cache.dequantized()[:4], first)
+
+    def test_read_returns_readonly_view(self):
+        """Reads alias the memo buffer and must not be writable."""
+        cache = QuantizedKVCache(KVQuantConfig(group_size=4))
+        cache.extend(_slab(6, seed=7))
+        out = cache.dequantized()
+        assert not out.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            out[0] = 0.0
+
+    def test_repeated_reads_are_stable(self):
+        cache = QuantizedKVCache(KVQuantConfig(group_size=4))
+        cache.extend(_slab(10, seed=8))
+        assert np.array_equal(cache.dequantized(), cache.dequantized())
+
+    def test_hit_miss_counters(self):
+        """Second read serves sealed groups from the memo (hits, no misses)."""
+        registry, _ = obs.enable()
+        try:
+            cache = QuantizedKVCache(KVQuantConfig(group_size=2))
+            cache.extend(_slab(6, seed=9))  # 3 sealed groups
+            cache.dequantized()
+            misses = registry.get(
+                "kvcache.groups_dequant_cached_misses_total"
+            ).value
+            assert misses == 3
+            cache.dequantized()
+            hits = registry.get(
+                "kvcache.groups_dequant_cached_hits_total"
+            ).value
+            assert hits == 3
+            assert (
+                registry.get(
+                    "kvcache.groups_dequant_cached_misses_total"
+                ).value
+                == 3
+            )
+        finally:
+            obs.disable()
+
+    def test_shape_mismatch_rejected_by_extend(self):
+        cache = QuantizedKVCache(KVQuantConfig())
+        cache.extend(_slab(2))
+        with pytest.raises(ValueError):
+            cache.extend(np.zeros((1, 3, 3), dtype=np.float32))
+        with pytest.raises(ValueError):
+            cache.extend(np.float32(1.0))
