@@ -5,6 +5,7 @@ Subcommands:
 * ``models``    — list the registered paper models and tiny zoo models.
 * ``kernels``   — simulated A100/H100 kernel latencies for a model's layers.
 * ``serve``     — simulated end-to-end serving run for a (model, system).
+* ``chaos``     — serving run under injected faults + overload (resilience).
 * ``quantize``  — quantize a tiny zoo model and report perplexity impact.
 * ``roofline``  — print the Figure 2 roofline points.
 * ``stats``     — exercise every instrumented layer and dump telemetry.
@@ -120,7 +121,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"OOM: {exc}", file=sys.stderr)
         return 1
     feasible = min(max(engine.plan.max_batch(args.prompt + args.out), 1), args.batch)
-    requests = make_batch_requests(feasible, args.prompt, args.out)
+    requests = make_batch_requests(
+        feasible, args.prompt, args.out,
+        ttft_slo=args.ttft_slo, e2e_slo=args.e2e_slo,
+    )
     tracer = None
     if metrics_path:
         from repro.serving.trace import EngineTracer
@@ -134,12 +138,100 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"batch {report.peak_batch}")
     print(f"throughput {report.throughput:.1f} tok/s "
           f"({report.output_tokens} tokens in {report.sim_seconds:.2f}s)")
+    if args.ttft_slo is not None or args.e2e_slo is not None:
+        print(f"goodput {report.goodput:.1f} tok/s | "
+              f"deadline misses {report.deadline_misses} | "
+              f"timed out {report.requests_timed_out}")
     bd = report.runtime_breakdown()
     print(f"runtime: GEMM {100 * bd['gemm']:.0f}% | "
           f"attention {100 * bd['attention']:.0f}% | "
           f"overhead {100 * bd['overhead']:.0f}%")
     print(LatencyReport.from_requests(requests).summary())
     _end_metrics(metrics_path)
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Serving run under a seeded fault plan and an overload trace; exits
+    nonzero on any crash, non-terminal request, or goodput below the floor
+    (the CI chaos-smoke gate, see docs/resilience.md)."""
+    import json
+    from dataclasses import asdict
+
+    from repro.serving.faults import FaultPlan
+    from repro.serving.request import TERMINAL_PHASES
+    from repro.serving.workload import make_overload_trace
+
+    cfg = get_model_config(args.model)
+    metrics_path = _begin_metrics(args)
+    try:
+        engine = ServingEngine(
+            cfg,
+            build_system(args.system),
+            config=EngineConfig(
+                max_batch=args.batch,
+                hbm_bytes=args.hbm_gb * 1e9,
+                reserve_full_sequence=not args.optimistic,
+                prefill_chunk_tokens=args.chunk or None,
+                max_retries=args.max_retries,
+                degrade_under_pressure=args.degrade,
+            ),
+        )
+    except ValueError as exc:
+        print(f"OOM: {exc}", file=sys.stderr)
+        return 1
+    requests = make_overload_trace(
+        args.requests,
+        engine.kv.token_capacity,
+        overload=args.overload,
+        ttft_slo=args.ttft_slo,
+        e2e_slo=args.e2e_slo,
+        seed=args.seed,
+    )
+    plan = FaultPlan(
+        seed=args.seed,
+        step_fault_rate=args.step_fault_rate,
+        kv_loss_rate=args.kv_loss_rate,
+        straggler_rate=args.straggler_rate,
+        request_abort_rate=args.request_abort_rate,
+    )
+    report = engine.run(requests, faults=plan)
+    phases = {}
+    for r in requests:
+        phases[r.phase.value] = phases.get(r.phase.value, 0) + 1
+    non_terminal = [r.request_id for r in requests if r.phase not in TERMINAL_PHASES]
+    print(f"model={cfg.name} system={args.system} requests={len(requests)} "
+          f"overload={args.overload}x seed={args.seed}")
+    print(f"faults: step {args.step_fault_rate} | kv-loss {args.kv_loss_rate} | "
+          f"straggler {args.straggler_rate} | abort {args.request_abort_rate} "
+          f"-> {report.faults_injected} injected")
+    print("phases: " + ", ".join(f"{k}={v}" for k, v in sorted(phases.items())))
+    print(f"throughput {report.throughput:.1f} tok/s | "
+          f"goodput {report.goodput:.1f} tok/s | "
+          f"retries {report.retries} | rejected {report.requests_rejected} | "
+          f"deadline misses {report.deadline_misses} | "
+          f"degraded steps {report.degraded_steps}")
+    if args.json:
+        from pathlib import Path
+
+        payload = asdict(report)
+        payload["throughput"] = report.throughput
+        payload["goodput"] = report.goodput
+        payload["phases"] = phases
+        payload["non_terminal"] = non_terminal
+        payload["fault_plan"] = asdict(plan)
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2))
+        print(f"report written to {out}")
+    _end_metrics(metrics_path)
+    if non_terminal:
+        print(f"FAIL: non-terminal requests {non_terminal}", file=sys.stderr)
+        return 1
+    if report.goodput < args.goodput_floor:
+        print(f"FAIL: goodput {report.goodput:.1f} < floor "
+              f"{args.goodput_floor:.1f}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -321,8 +413,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prompt", type=int, default=1024)
     p.add_argument("--out", type=int, default=512)
     p.add_argument("--batch", type=int, default=128)
+    p.add_argument("--ttft-slo", type=float, default=None,
+                   help="per-request TTFT SLO in seconds")
+    p.add_argument("--e2e-slo", type=float, default=None,
+                   help="per-request end-to-end SLO in seconds")
     _add_emit_metrics(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "chaos", help="serving under injected faults and overload"
+    )
+    p.add_argument("--model", default="llama-3-8b")
+    p.add_argument("--system", choices=SYSTEM_NAMES, default="comet")
+    p.add_argument("--requests", type=int, default=60)
+    p.add_argument("--batch", type=int, default=32)
+    p.add_argument("--hbm-gb", type=float, default=20.0,
+                   help="device memory in GB (small = more KV pressure)")
+    p.add_argument("--overload", type=float, default=2.0,
+                   help="offered load as a multiple of KV token capacity")
+    p.add_argument("--chunk", type=int, default=256,
+                   help="prefill chunk tokens (0 = whole-prompt prefill)")
+    p.add_argument("--optimistic", action="store_true",
+                   help="optimistic admission (reserve_full_sequence=False)")
+    p.add_argument("--degrade", action="store_true",
+                   help="enable graceful degradation under KV pressure")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--step-fault-rate", type=float, default=0.1)
+    p.add_argument("--kv-loss-rate", type=float, default=0.02)
+    p.add_argument("--straggler-rate", type=float, default=0.05)
+    p.add_argument("--request-abort-rate", type=float, default=0.1)
+    p.add_argument("--max-retries", type=int, default=3)
+    p.add_argument("--ttft-slo", type=float, default=None)
+    p.add_argument("--e2e-slo", type=float, default=None)
+    p.add_argument("--goodput-floor", type=float, default=0.0,
+                   help="exit nonzero when goodput (tok/s) falls below this")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="write the full report as JSON")
+    _add_emit_metrics(p)
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("quantize", help="quantize a tiny zoo model")
     p.add_argument("--zoo-model", default="tiny-llama-1")

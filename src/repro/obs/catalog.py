@@ -98,6 +98,23 @@ METRIC_CATALOG: dict[str, tuple[str, str]] = {
         "counter", "Physical KV blocks taken from the pool."),
     "serving.kv_cow_copies_total": (
         "counter", "Copy-on-write block copies (prefix sharing)."),
+    # -------------------------------------------------- serving resilience
+    "serving.faults_injected_total": (
+        "counter",
+        "Faults injected by the active FaultPlan, by kind "
+        "(kernel_fault/kv_loss/straggler/request_abort)."),
+    "serving.retries_total": (
+        "counter", "Transient-fault retries re-queued with backoff."),
+    "serving.rejected_total": (
+        "counter", "Requests refused at admission (can never fit KV)."),
+    "serving.requests_failed_total": (
+        "counter", "Requests permanently failed (retry budget exhausted)."),
+    "serving.requests_timed_out_total": (
+        "counter", "Requests cut off by an expired TTFT/e2e deadline."),
+    "serving.deadline_misses_total": (
+        "counter", "SLO deadline misses (timed-out plus late finishes)."),
+    "serving.degraded_steps_total": (
+        "counter", "Engine steps run with degraded admission knobs."),
 }
 
 #: Span naming follows the same layer prefixes; the conventional names are

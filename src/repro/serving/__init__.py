@@ -11,6 +11,7 @@ from repro.serving.memory_planner import (
     MemoryPlan,
     plan_memory,
 )
+from repro.serving.faults import FaultKind, FaultPlan, StepFault
 from repro.serving.metrics import LatencyReport
 from repro.serving.paged_kv import KVAllocationError, PagedKVManager
 from repro.serving.planner import (
@@ -24,10 +25,19 @@ from repro.serving.parallel import (
     allreduce_time,
     shard_linear_shapes,
 )
-from repro.serving.request import Phase, Request, make_batch_requests
+from repro.serving.request import (
+    TERMINAL_PHASES,
+    Phase,
+    Request,
+    make_batch_requests,
+)
 from repro.serving.systems import SYSTEM_NAMES, ServingSystem, build_system
 from repro.serving.trace import EngineTracer, StepTrace
-from repro.serving.workload import make_heterogeneous_requests, make_poisson_trace
+from repro.serving.workload import (
+    make_heterogeneous_requests,
+    make_overload_trace,
+    make_poisson_trace,
+)
 
 __all__ = [
     "DEFAULT_HBM_BYTES",
@@ -35,6 +45,9 @@ __all__ = [
     "EngineConfig",
     "DeploymentPlan",
     "EngineTracer",
+    "FaultKind",
+    "FaultPlan",
+    "StepFault",
     "KVAllocationError",
     "StepTrace",
     "LatencyReport",
@@ -42,10 +55,12 @@ __all__ = [
     "PlanCandidate",
     "plan_deployment",
     "make_heterogeneous_requests",
+    "make_overload_trace",
     "make_poisson_trace",
     "PagedKVManager",
     "Phase",
     "Request",
+    "TERMINAL_PHASES",
     "SYSTEM_NAMES",
     "ServingEngine",
     "ServingSystem",

@@ -15,6 +15,14 @@ the kernel cost models:
 Because the three knobs a :class:`ServingSystem` sets (kernel, weight bytes,
 KV format) all enter this loop, the Figure 10/11/12/15 comparisons fall out
 of one engine.
+
+On top of the clean loop sits a resilience layer (``docs/resilience.md``):
+infeasible requests are rejected instead of stalling the scheduler, expired
+requests are shed or timed out against their SLOs, transient faults from a
+:class:`repro.serving.faults.FaultPlan` trigger bounded backoff retries,
+and an optional degradation policy shrinks the admission knobs under
+sustained KV pressure.  With no fault plan, no SLOs, and degradation off,
+the loop is arithmetically identical to the clean engine.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from repro.gpu.spec import A100_80G_SXM4, GPUSpec
 from repro.kernels.attention import DECODE_ATTENTION, PREFILL_ATTENTION
 from repro.kernels.tiling import GEMMShape
 from repro.model.config import ModelConfig
+from repro.serving.faults import FaultKind, FaultPlan
 from repro.serving.memory_planner import DEFAULT_HBM_BYTES, MemoryPlan, plan_memory
 from repro.serving.paged_kv import PagedKVManager
 from repro.serving.request import Phase, Request
@@ -36,6 +45,9 @@ __all__ = ["EngineConfig", "ThroughputReport", "ServingEngine"]
 
 #: Per-step framework overhead: scheduler, sampling, python/driver time.
 DEFAULT_STEP_OVERHEAD = 100e-6
+
+#: Phases that occupy a slot in the running batch (hold a KV allocation).
+_ACTIVE = (Phase.DECODE, Phase.PREFILL)
 
 
 @dataclass(frozen=True)
@@ -51,6 +63,22 @@ class EngineConfig:
         decode_attention: 'flash' (Flash-Decoding) or 'naive' — the paper's
             Section 7 attention-kernel axis.
         prefill_attention: 'flash' (FlashAttention) or 'naive'.
+        kv_capacity_slack: fraction of the KV pool's token capacity that
+            full-sequence admission may commit.  Paged allocation rounds
+            every sequence up to block granularity, so a pool that is
+            exactly "full" in token terms can still fail a block
+            allocation; committing only this fraction absorbs the
+            rounding.  1.0 disables the slack.
+        max_retries: transient-fault retry budget per request; a request
+            whose fault count exceeds it ends ``FAILED``.
+        retry_backoff: base re-queue delay after a transient fault; the
+            n-th retry waits ``retry_backoff * 2**(n-1)`` seconds.
+        degrade_under_pressure: enable graceful degradation — shrink the
+            effective ``max_batch`` / ``prefill_chunk_tokens`` while the KV
+            pool stays hot instead of thrashing on preemptions.
+        degrade_pressure: KV-pool block-usage fraction treated as pressure.
+        degrade_window: consecutive hot (cool) steps before the degradation
+            policy shrinks (re-grows) the admission knobs.
     """
 
     max_batch: int = 512
@@ -68,6 +96,12 @@ class EngineConfig:
     #: Megatron-style tensor parallelism across this many identical GPUs
     #: (1 = the paper's single-GPU setting).
     tensor_parallel: int = 1
+    kv_capacity_slack: float = 0.98
+    max_retries: int = 2
+    retry_backoff: float = 0.05
+    degrade_under_pressure: bool = False
+    degrade_pressure: float = 0.92
+    degrade_window: int = 4
 
     def __post_init__(self) -> None:
         if self.decode_attention not in DECODE_ATTENTION:
@@ -84,6 +118,16 @@ class EngineConfig:
             raise ValueError("prefill_chunk_tokens must be positive or None")
         if self.tensor_parallel < 1:
             raise ValueError("tensor_parallel must be >= 1")
+        if not 0.0 < self.kv_capacity_slack <= 1.0:
+            raise ValueError("kv_capacity_slack must be in (0, 1]")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        if not 0.0 < self.degrade_pressure <= 1.0:
+            raise ValueError("degrade_pressure must be in (0, 1]")
+        if self.degrade_window < 1:
+            raise ValueError("degrade_window must be >= 1")
 
 
 @dataclass
@@ -106,6 +150,16 @@ class ThroughputReport:
     #: Longest wall-clock gap between consecutive decode iterations — the
     #: stall a running user experiences when another request prefills.
     max_decode_gap: float = 0.0
+    # ---------------------------------------------------- resilience
+    requests_failed: int = 0
+    requests_rejected: int = 0
+    requests_timed_out: int = 0
+    retries: int = 0
+    deadline_misses: int = 0
+    faults_injected: int = 0
+    degraded_steps: int = 0
+    #: Output tokens of requests that finished within every configured SLO.
+    good_output_tokens: int = 0
 
     @property
     def throughput(self) -> float:
@@ -113,6 +167,14 @@ class ThroughputReport:
         if self.sim_seconds <= 0:
             return 0.0
         return self.output_tokens / self.sim_seconds
+
+    @property
+    def goodput(self) -> float:
+        """SLO-attained output tokens per second: only tokens of requests
+        that finished within their deadlines count (docs/resilience.md)."""
+        if self.sim_seconds <= 0:
+            return 0.0
+        return self.good_output_tokens / self.sim_seconds
 
     def runtime_breakdown(self) -> dict[str, float]:
         """Fractions of runtime in GEMM / attention / framework overhead —
@@ -149,6 +211,17 @@ class _EngineTelemetry:
         self.finished = counter("serving.requests_finished_total")
         self.preempted = counter("serving.preemptions_total")
         self.output_tokens = counter("serving.output_tokens_total")
+        self.rejected = counter("serving.rejected_total")
+        self.retries = counter("serving.retries_total")
+        self.failed = counter("serving.requests_failed_total")
+        self.timed_out = counter("serving.requests_timed_out_total")
+        self.deadline_misses = counter("serving.deadline_misses_total")
+        self.degraded_steps = counter("serving.degraded_steps_total")
+        self.faults = m.counter(
+            "serving.faults_injected_total",
+            obs.metric_help("serving.faults_injected_total"),
+            labelnames=("kind",),
+        )
         self.steps = m.counter(
             "serving.engine_steps_total",
             obs.metric_help("serving.engine_steps_total"),
@@ -171,10 +244,10 @@ class _EngineTelemetry:
         self.kv_fragmentation = gauge("serving.kv_fragmentation")
         self.kv_free_blocks = gauge("serving.kv_free_blocks")
 
-    def request_event(self, stage: str, req: Request, ts: float) -> None:
+    def request_event(self, stage: str, req: Request, ts: float, **attrs) -> None:
         obs.event(
             f"serving.request.{stage}", ts=ts, cat="request", domain="sim",
-            request_id=req.request_id, prompt_len=req.prompt_len,
+            request_id=req.request_id, prompt_len=req.prompt_len, **attrs,
         )
 
     def on_admit(self, req: Request, clock: float) -> None:
@@ -196,6 +269,28 @@ class _EngineTelemetry:
     def on_preempt(self, req: Request, clock: float) -> None:
         self.preempted.inc()
         self.request_event("preempted", req, clock)
+
+    def on_reject(self, req: Request, clock: float) -> None:
+        self.rejected.inc()
+        self.request_event("rejected", req, clock, reason=req.failure_reason)
+
+    def on_retry(self, req: Request, clock: float) -> None:
+        self.retries.inc()
+        self.request_event("retry", req, clock, attempt=req.retries)
+
+    def on_fail(self, req: Request, clock: float) -> None:
+        self.failed.inc()
+        self.request_event("failed", req, clock, reason=req.failure_reason)
+
+    def on_timeout(self, req: Request, clock: float) -> None:
+        self.timed_out.inc()
+        self.request_event("timed_out", req, clock, reason=req.failure_reason)
+
+    def on_fault(self, kind: str, clock: float) -> None:
+        self.faults.labels(kind=kind).inc()
+        obs.event(
+            "serving.fault", ts=clock, cat="fault", domain="sim", kind=kind
+        )
 
     def on_step(self, kind: str, dt: float, batch: int) -> None:
         self.steps.labels(kind=kind).inc()
@@ -343,11 +438,18 @@ class ServingEngine:
     # Serving loop
     # ------------------------------------------------------------------
 
-    def run(self, requests: list[Request], tracer=None) -> ThroughputReport:
+    def run(
+        self,
+        requests: list[Request],
+        tracer=None,
+        faults: FaultPlan | None = None,
+    ) -> ThroughputReport:
         """Serve a request list to completion and report throughput.
 
         Pass an :class:`repro.serving.trace.EngineTracer` as ``tracer`` to
-        record a per-iteration timeline.
+        record a per-iteration timeline, and a
+        :class:`repro.serving.faults.FaultPlan` as ``faults`` to run under
+        injected transient failures (chaos mode).
 
         Requests with nonzero ``arrival_time`` form a trace: the clock fast-
         forwards over idle gaps and admission only considers arrived
@@ -359,6 +461,13 @@ class ServingEngine:
         * ``reserve_full_sequence=False``: admission is optimistic (prompt
           only) and the engine preempts the most recently admitted sequence
           (recompute-style, as in vLLM) when the pool runs dry.
+
+        The run never raises on per-request trouble: requests that can
+        never fit the KV pool are ``REJECTED``, requests whose SLOs expire
+        are ``TIMED_OUT`` (shed from the queue or cut mid-flight), and
+        transient faults re-queue the victim with exponential backoff until
+        ``EngineConfig.max_retries`` is exhausted (``FAILED``).  Every
+        request ends in exactly one terminal phase.
         """
         stale = [r.request_id for r in requests if r.phase is not Phase.WAITING]
         if stale:
@@ -366,12 +475,23 @@ class ServingEngine:
                 f"requests {stale} were already served; engine runs require "
                 "fresh Request objects"
             )
+        fault_active = faults is not None and not faults.empty
+        abort_points: dict[int, int] = {}
+        if fault_active and faults.request_abort_rate > 0.0:
+            for r in requests:
+                point = faults.request_abort_point(r.request_id, r.max_new_tokens)
+                if point is not None:
+                    abort_points[r.request_id] = point
+        has_slos = any(
+            r.ttft_slo is not None or r.e2e_slo is not None for r in requests
+        )
         waiting = deque(
             sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
         )
+        retry_queue: list[Request] = []
         running: list[Request] = []
         committed_tokens = 0
-        capacity = int(self.kv.token_capacity * 0.98)  # block-rounding slack
+        capacity = int(self.kv.token_capacity * self.config.kv_capacity_slack)
         clock = 0.0
         prefill_s = 0.0
         decode_s = 0.0
@@ -382,7 +502,19 @@ class ServingEngine:
         completed = 0
         output_tokens = 0
         preemptions = 0
+        rejected = 0
+        failed = 0
+        timed_out = 0
+        retries_total = 0
+        deadline_misses = 0
+        faults_injected = 0
+        degraded_steps = 0
         chunking = self.config.prefill_chunk_tokens
+        eff_max_batch = self.config.max_batch
+        eff_chunk = chunking
+        pressure_hot = 0
+        pressure_cool = 0
+        compute_steps = 0
         last_decode_clock: float | None = None
         max_decode_gap = 0.0
         tel = _EngineTelemetry(self.kv) if obs.enabled() else None
@@ -391,59 +523,206 @@ class ServingEngine:
             system=self.system.name, requests=len(requests),
         )
 
+        def release_kv(req: Request) -> None:
+            """Return an admitted request's KV blocks and commitment."""
+            nonlocal committed_tokens
+            self.kv.free(req.request_id)
+            committed_tokens -= req.total_len
+
+        def reject(req: Request, reason: str) -> None:
+            nonlocal rejected
+            req.reject(reason, clock)
+            rejected += 1
+            if tel is not None:
+                tel.on_reject(req, clock)
+            if tracer is not None:
+                tracer.record_event(
+                    "rejected", ts=clock, request_id=req.request_id,
+                    reason=reason,
+                )
+
+        def expire(req: Request, reason: str) -> None:
+            """Terminally time a request out (deadline miss)."""
+            nonlocal timed_out, deadline_misses
+            req.time_out(reason, clock)
+            timed_out += 1
+            deadline_misses += 1
+            if tel is not None:
+                tel.on_timeout(req, clock)
+                tel.deadline_misses.inc()
+            if tracer is not None:
+                tracer.record_event(
+                    "timed_out", ts=clock, request_id=req.request_id,
+                    reason=reason,
+                )
+
+        def retry_or_fail(req: Request, reason: str) -> None:
+            """Reset a faulted in-flight request: back off and re-queue it,
+            or fail it once the retry budget is spent.  The request must
+            currently hold a KV allocation."""
+            nonlocal output_tokens, retries_total, failed
+            lost = req.reset_for_retry()
+            output_tokens -= lost
+            release_kv(req)
+            if req.retries > self.config.max_retries:
+                req.fail(reason, clock)
+                failed += 1
+                if tel is not None:
+                    tel.on_fail(req, clock)
+                if tracer is not None:
+                    tracer.record_event(
+                        "failed", ts=clock, request_id=req.request_id,
+                        reason=reason,
+                    )
+                return
+            retries_total += 1
+            req.not_before = clock + self.config.retry_backoff * (
+                2 ** (req.retries - 1)
+            )
+            retry_queue.append(req)
+            if tel is not None:
+                tel.on_retry(req, clock)
+            if tracer is not None:
+                tracer.record_event(
+                    "retry", ts=clock, request_id=req.request_id,
+                    reason=reason, attempt=req.retries,
+                )
+
+        def infeasible_reason(req: Request) -> str | None:
+            """Why this request can never be served, or None if it can."""
+            if self.config.reserve_full_sequence:
+                if req.total_len > capacity:
+                    return (
+                        f"total_len {req.total_len} exceeds KV commit "
+                        f"capacity {capacity}"
+                    )
+                return None
+            headroom = self.kv.block_tokens
+            if self.kv.blocks_needed(req.prompt_len + headroom) > self.kv.num_blocks:
+                return (
+                    f"prompt_len {req.prompt_len} exceeds the KV pool "
+                    f"({self.kv.token_capacity} tokens)"
+                )
+            if self.kv.blocks_needed(req.total_len) > self.kv.num_blocks:
+                return (
+                    f"total_len {req.total_len} exceeds the KV pool "
+                    f"({self.kv.token_capacity} tokens)"
+                )
+            return None
+
+        def start_request(req: Request) -> None:
+            """Post-admission bookkeeping shared by the arrival and retry
+            paths: whole-prompt prefill (when not chunking) and batch entry."""
+            nonlocal committed_tokens, clock, prefill_s, gemm_s, attn_s
+            nonlocal overhead_s
+            committed_tokens += req.total_len
+            req.phase = Phase.PREFILL
+            if tel is not None:
+                tel.on_admit(req, clock)
+            if chunking is None:
+                # Whole-prompt prefill, serialized before decoding.
+                with obs.span(
+                    "engine.step", cat="serving", kind="prefill",
+                    batch=1, prefill_tokens=req.prompt_len,
+                ):
+                    dt = self.prefill_time(req.prompt_len)
+                if tracer is not None:
+                    tracer.record(
+                        start=clock, duration=dt, kind="prefill",
+                        batch=1, decode_tokens=0,
+                        prefill_tokens=req.prompt_len,
+                        context_tokens=req.prompt_len,
+                    )
+                clock += dt
+                prefill_s += dt
+                gemm_s += self.linear_stack_latency(req.prompt_len)
+                attn_s += self.prefill_attention_time(req.prompt_len)
+                overhead_s += self.config.step_overhead
+                req.prefill_progress = req.prompt_len
+                req.phase = Phase.DECODE
+                if tel is not None:
+                    tel.on_step("prefill", dt, 1)
+            running.append(req)
+
         with run_span:
             for _ in range(self.config.max_steps):
-                if not running and waiting and waiting[0].arrival_time > clock:
-                    clock = waiting[0].arrival_time  # idle until next arrival
+                if not running:
+                    next_arrival = (
+                        waiting[0].arrival_time if waiting else float("inf")
+                    )
+                    next_retry = min(
+                        (r.not_before for r in retry_queue), default=float("inf")
+                    )
+                    wake = min(next_arrival, next_retry)
+                    if wake != float("inf") and wake > clock:
+                        clock = wake  # idle until next arrival / backoff expiry
+
+                # Re-admission of backed-off retries (they were already
+                # accepted once, so they queue ahead of new arrivals).
+                if retry_queue:
+                    retry_queue.sort(key=lambda r: (r.not_before, r.request_id))
+                    while (
+                        retry_queue
+                        and len(running) < eff_max_batch
+                        and retry_queue[0].not_before <= clock
+                    ):
+                        req = retry_queue[0]
+                        if not self._admit(req, committed_tokens, capacity):
+                            break
+                        retry_queue.pop(0)
+                        start_request(req)
 
                 # Admission.
                 while (
                     waiting
-                    and len(running) < self.config.max_batch
+                    and len(running) < eff_max_batch
                     and waiting[0].arrival_time <= clock
                 ):
                     req = waiting[0]
+                    reason = infeasible_reason(req)
+                    if reason is not None:
+                        # Admission control: this request can never fit;
+                        # refuse it and keep serving the rest.
+                        waiting.popleft()
+                        reject(req, reason)
+                        continue
+                    if has_slos and clock > min(req.e2e_deadline, req.ttft_deadline):
+                        # Load shedding: the deadline expired while queued.
+                        waiting.popleft()
+                        expire(req, "expired while waiting")
+                        continue
                     if not self._admit(req, committed_tokens, capacity):
                         break
                     waiting.popleft()
-                    committed_tokens += req.total_len
-                    req.phase = Phase.PREFILL
-                    if tel is not None:
-                        tel.on_admit(req, clock)
-                    if chunking is None:
-                        # Whole-prompt prefill, serialized before decoding.
-                        with obs.span(
-                            "engine.step", cat="serving", kind="prefill",
-                            batch=1, prefill_tokens=req.prompt_len,
-                        ):
-                            dt = self.prefill_time(req.prompt_len)
-                        if tracer is not None:
-                            tracer.record(
-                                start=clock, duration=dt, kind="prefill",
-                                batch=1, decode_tokens=0,
-                                prefill_tokens=req.prompt_len,
-                                context_tokens=req.prompt_len,
-                            )
-                        clock += dt
-                        prefill_s += dt
-                        gemm_s += self.linear_stack_latency(req.prompt_len)
-                        attn_s += self.prefill_attention_time(req.prompt_len)
-                        overhead_s += self.config.step_overhead
-                        req.prefill_progress = req.prompt_len
-                        req.phase = Phase.DECODE
-                        if tel is not None:
-                            tel.on_step("prefill", dt, 1)
-                    running.append(req)
+                    start_request(req)
 
                 if not running:
-                    if not waiting:
+                    if not waiting and not retry_queue:
                         break
-                    if waiting[0].arrival_time > clock:
-                        continue  # fast-forward next iteration
-                    raise RuntimeError(
-                        "scheduler stall: KV pool too small for "
-                        f"{waiting[0].total_len}-token requests"
+                    pending_arrival = (
+                        waiting[0].arrival_time if waiting else float("inf")
                     )
+                    pending_retry = min(
+                        (r.not_before for r in retry_queue), default=float("inf")
+                    )
+                    if min(pending_arrival, pending_retry) > clock:
+                        continue  # fast-forward next iteration
+                    # An arrived request could not enter an empty pool even
+                    # though the feasibility check passed; refuse it rather
+                    # than stalling the scheduler forever.
+                    if waiting and pending_arrival <= clock:
+                        req = waiting.popleft()
+                        reject(req, "admission failed with an empty KV pool")
+                    else:
+                        retry_queue.sort(
+                            key=lambda r: (r.not_before, r.request_id)
+                        )
+                        req = retry_queue.pop(0)
+                        req.fail("re-admission failed with an empty KV pool", clock)
+                        failed += 1
+                        if tel is not None:
+                            tel.on_fail(req, clock)
+                    continue
 
                 peak_batch = max(peak_batch, len(running))
                 decode_reqs = [r for r in running if r.phase is Phase.DECODE]
@@ -453,7 +732,7 @@ class ServingEngine:
                 chunk = 0
                 if prefill_req is not None:
                     chunk = min(
-                        chunking, prefill_req.prompt_len - prefill_req.prefill_progress
+                        eff_chunk, prefill_req.prompt_len - prefill_req.prefill_progress
                     )
 
                 # One continuous-batching iteration: decode tokens plus (when
@@ -464,6 +743,10 @@ class ServingEngine:
                     kind = "decode"
                 else:
                     kind = "prefill"
+                fault = None
+                if fault_active:
+                    fault = faults.step_fault(compute_steps)
+                compute_steps += 1
                 m = len(decode_reqs) + chunk
                 with obs.span("engine.step", cat="serving", kind=kind) as step_span:
                     gemm = self.linear_stack_latency(m)
@@ -476,6 +759,12 @@ class ServingEngine:
                             chunk, prefill_req.prefill_progress
                         )
                     dt = gemm + attn + self.config.step_overhead
+                    if fault is not None and fault.kind is FaultKind.STRAGGLER:
+                        # The whole iteration straggles; the extra time is
+                        # framework-side stall, not GEMM/attention work.
+                        stall = dt * (fault.slowdown - 1.0)
+                        dt += stall
+                        overhead_s += stall
                     step_span.set(batch=len(running), sim_seconds=dt)
                 if tracer is not None:
                     tracer.record(
@@ -496,65 +785,154 @@ class ServingEngine:
                 else:
                     prefill_s += dt
 
-                if chunk:
-                    prefill_req.prefill_progress += chunk
-                    if prefill_req.prefill_progress >= prefill_req.prompt_len:
-                        prefill_req.phase = Phase.DECODE
-
-                still_running: list[Request] = []
-                for req in running:
-                    if req.phase is Phase.PREFILL or (
-                        req is prefill_req and chunk
-                    ):
-                        # Still prefilling, or finished its last chunk this
-                        # step (first decode happens next iteration).
-                        still_running.append(req)
-                        continue
-                    if req.phase is not Phase.DECODE:
-                        continue  # preempted earlier in this step
-                    while not self.kv.append_token(req.request_id):
-                        victim = self._pick_victim(running, req)
-                        if victim is None:
-                            raise RuntimeError(
-                                "KV pool exhausted with nothing to preempt; "
-                                "use reserve_full_sequence=True or shrink "
-                                "max_batch"
-                            )
-                        output_tokens -= victim.preempt()
-                        preemptions += 1
-                        self.kv.free(victim.request_id)
-                        committed_tokens -= victim.total_len
-                        waiting.appendleft(victim)
-                        if tel is not None:
-                            tel.on_preempt(victim, clock)
-                    req.advance()
-                    output_tokens += 1
+                if fault is not None:
+                    faults_injected += 1
                     if tel is not None:
-                        tel.output_tokens.inc()
-                    if req.generated == 1:
-                        req.first_token_time = clock
+                        tel.on_fault(fault.kind.value, clock)
+                    if tracer is not None:
+                        tracer.record_event(
+                            "fault", ts=clock, kind=fault.kind.value
+                        )
+
+                step_preemptions = 0
+                if fault is not None and fault.kind is FaultKind.KERNEL_FAULT:
+                    # The step's results are discarded: the time is spent but
+                    # no tokens land and no prefill progress is made; the
+                    # engine retries the same work next iteration.
+                    still_running = list(running)
+                else:
+                    if chunk:
+                        prefill_req.prefill_progress += chunk
+                        if prefill_req.prefill_progress >= prefill_req.prompt_len:
+                            prefill_req.phase = Phase.DECODE
+
+                    still_running = []
+                    for req in running:
+                        if req.phase is Phase.PREFILL or (
+                            req is prefill_req and chunk
+                        ):
+                            # Still prefilling, or finished its last chunk this
+                            # step (first decode happens next iteration).
+                            still_running.append(req)
+                            continue
+                        if req.phase is not Phase.DECODE:
+                            continue  # preempted earlier in this step
+                        appended = True
+                        while not self.kv.append_token(req.request_id):
+                            victim = self._pick_victim(running, req)
+                            if victim is None:
+                                # Nothing decodable to evict: instead of
+                                # crashing, give this attempt up and retry
+                                # the request after other work drains.
+                                retry_or_fail(req, "KV pool exhausted")
+                                appended = False
+                                break
+                            output_tokens -= victim.preempt()
+                            preemptions += 1
+                            step_preemptions += 1
+                            self.kv.free(victim.request_id)
+                            committed_tokens -= victim.total_len
+                            waiting.appendleft(victim)
+                            if tel is not None:
+                                tel.on_preempt(victim, clock)
+                        if not appended:
+                            continue
+                        req.advance()
+                        output_tokens += 1
                         if tel is not None:
-                            tel.on_first_token(req, clock)
-                    if req.phase is Phase.FINISHED:
-                        req.finish_time = clock
-                        self.kv.free(req.request_id)
-                        committed_tokens -= req.total_len
-                        completed += 1
-                        if tel is not None:
-                            tel.on_finish(req, clock)
-                    else:
-                        still_running.append(req)
+                            tel.output_tokens.inc()
+                        if req.generated == 1:
+                            req.first_token_time = clock
+                            if tel is not None:
+                                tel.on_first_token(req, clock)
+                        if (
+                            abort_points
+                            and req.retries == 0
+                            and abort_points.get(req.request_id) == req.generated
+                        ):
+                            # Per-request transient fault: the first attempt
+                            # aborts here; retries run clean.
+                            faults_injected += 1
+                            if tel is not None:
+                                tel.on_fault(FaultKind.REQUEST_ABORT.value, clock)
+                            if req.phase is Phase.FINISHED:
+                                req.phase = Phase.DECODE  # fault beats finish
+                            retry_or_fail(req, "request aborted")
+                            continue
+                        if req.phase is Phase.FINISHED:
+                            req.finish_time = clock
+                            self.kv.free(req.request_id)
+                            committed_tokens -= req.total_len
+                            completed += 1
+                            if has_slos and not req.slo_met:
+                                deadline_misses += 1
+                                if tel is not None:
+                                    tel.deadline_misses.inc()
+                            if tel is not None:
+                                tel.on_finish(req, clock)
+                        else:
+                            still_running.append(req)
                 if tel is not None:
                     tel.on_step(kind, dt, len(running))
                 # A victim processed earlier in this step may linger in
                 # still_running with phase WAITING; drop it (it is queued).
-                running = [
-                    r for r in still_running
-                    if r.phase in (Phase.DECODE, Phase.PREFILL)
-                ]
+                running = [r for r in still_running if r.phase in _ACTIVE]
+
+                if fault is not None and fault.kind is FaultKind.KV_LOSS and running:
+                    # One running sequence's cache blocks are lost; the
+                    # victim restarts from scratch (recompute) after backoff.
+                    idx = int(fault.victim_draw * len(running)) % len(running)
+                    retry_or_fail(running[idx], "KV blocks lost")
+                    running = [r for r in running if r.phase in _ACTIVE]
+
+                if has_slos:
+                    for req in running:
+                        if clock > req.e2e_deadline:
+                            release_kv(req)
+                            expire(req, "e2e deadline expired mid-flight")
+                        elif req.generated == 0 and clock > req.ttft_deadline:
+                            release_kv(req)
+                            expire(req, "TTFT deadline expired")
+                    running = [r for r in running if r.phase in _ACTIVE]
+
+                if self.config.degrade_under_pressure:
+                    used = self.kv.num_blocks - self.kv.free_blocks
+                    pressure = used / self.kv.num_blocks if self.kv.num_blocks else 0.0
+                    if pressure >= self.config.degrade_pressure or step_preemptions:
+                        pressure_hot += 1
+                        pressure_cool = 0
+                    else:
+                        pressure_cool += 1
+                        pressure_hot = 0
+                    if pressure_hot >= self.config.degrade_window:
+                        pressure_hot = 0
+                        eff_max_batch = max(1, eff_max_batch // 2)
+                        if chunking is not None:
+                            eff_chunk = max(
+                                self.config.block_tokens, eff_chunk // 2
+                            )
+                    elif pressure_cool >= self.config.degrade_window:
+                        pressure_cool = 0
+                        if eff_max_batch < self.config.max_batch:
+                            eff_max_batch = min(
+                                self.config.max_batch, eff_max_batch * 2
+                            )
+                        if chunking is not None and eff_chunk < chunking:
+                            eff_chunk = min(chunking, eff_chunk * 2)
+                    if eff_max_batch < self.config.max_batch or (
+                        chunking is not None and eff_chunk < chunking
+                    ):
+                        degraded_steps += 1
+                        if tel is not None:
+                            tel.degraded_steps.inc()
             else:
                 raise RuntimeError("max_steps exceeded; raise EngineConfig.max_steps")
 
+        good_output_tokens = sum(
+            r.generated
+            for r in requests
+            if r.phase is Phase.FINISHED and r.slo_met
+        )
         return ThroughputReport(
             system=self.system.name,
             model=self.model.name,
@@ -570,6 +948,14 @@ class ServingEngine:
             overhead_seconds=overhead_s,
             preemptions=preemptions,
             max_decode_gap=max_decode_gap,
+            requests_failed=failed,
+            requests_rejected=rejected,
+            requests_timed_out=timed_out,
+            retries=retries_total,
+            deadline_misses=deadline_misses,
+            faults_injected=faults_injected,
+            degraded_steps=degraded_steps,
+            good_output_tokens=good_output_tokens,
         )
 
     def _admit(self, req: Request, committed_tokens: int, capacity: int) -> bool:

@@ -1,0 +1,138 @@
+"""Deterministic fault injection for the serving engine.
+
+Real deployments of the paper's serving framework (Section 6) see transient
+kernel faults, lost KV blocks, and straggling iterations long before they
+see the clean homogeneous traces of the evaluation.  A :class:`FaultPlan`
+describes a reproducible fault process the engine consults each step:
+
+* **kernel fault** — the step's compute is spent but its results are
+  discarded (no tokens appended, no prefill progress); the engine retries
+  the same work next iteration;
+* **KV loss** — one running sequence's cache blocks are corrupted/lost;
+  the victim is reset and re-queued with backoff (recompute-style), or
+  failed once its retry budget is exhausted;
+* **straggler** — the step takes ``straggler_slowdown`` times longer
+  (interference, clock throttling, a slow collective);
+* **request abort** — a per-request transient failure that aborts the
+  request's *first* attempt after a deterministic number of output tokens.
+
+Every draw derives from ``(seed, stream, index)`` via
+:func:`numpy.random.default_rng`, so a plan is a pure function of its
+configuration: the same seed replays the same fault sequence regardless of
+wall-clock time or call order, which is what makes chaos runs debuggable
+and CI-stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["FaultKind", "StepFault", "FaultPlan"]
+
+#: RNG stream tags: keep per-step and per-request draws independent.
+_STEP_STREAM = 1
+_REQUEST_STREAM = 2
+
+
+class FaultKind(Enum):
+    KERNEL_FAULT = "kernel_fault"
+    KV_LOSS = "kv_loss"
+    STRAGGLER = "straggler"
+    REQUEST_ABORT = "request_abort"
+
+
+@dataclass(frozen=True)
+class StepFault:
+    """One injected step-level fault.
+
+    Attributes:
+        kind: which failure mode fired.
+        slowdown: step-duration multiplier (stragglers only; 1.0 otherwise).
+        victim_draw: uniform [0, 1) draw the engine maps onto its running
+            batch to pick the KV-loss victim (KV loss only).
+    """
+
+    kind: FaultKind
+    slowdown: float = 1.0
+    victim_draw: float = 0.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic fault process.
+
+    Rates are per-step (or per-request) probabilities in ``[0, 1]``.  At
+    most one step fault fires per engine iteration; when the rates sum past
+    1 the earlier kinds take priority (kernel fault, then KV loss, then
+    straggler).
+
+    Attributes:
+        seed: RNG seed; fixes the whole fault sequence.
+        step_fault_rate: probability a step's results are discarded.
+        kv_loss_rate: probability a step loses one sequence's KV blocks.
+        straggler_rate: probability a step straggles.
+        straggler_slowdown: duration multiplier for straggling steps.
+        request_abort_rate: probability a request's first attempt aborts
+            partway through decoding.
+    """
+
+    seed: int = 0
+    step_fault_rate: float = 0.0
+    kv_loss_rate: float = 0.0
+    straggler_rate: float = 0.0
+    straggler_slowdown: float = 4.0
+    request_abort_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "step_fault_rate",
+            "kv_loss_rate",
+            "straggler_rate",
+            "request_abort_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.straggler_slowdown < 1.0:
+            raise ValueError("straggler_slowdown must be >= 1")
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan can never inject anything."""
+        return (
+            self.step_fault_rate == 0.0
+            and self.kv_loss_rate == 0.0
+            and self.straggler_rate == 0.0
+            and self.request_abort_rate == 0.0
+        )
+
+    def step_fault(self, step_index: int) -> StepFault | None:
+        """The fault (if any) injected into compute step ``step_index``."""
+        rng = np.random.default_rng([self.seed, _STEP_STREAM, step_index])
+        u = rng.random()
+        victim_draw = rng.random()
+        edge = self.step_fault_rate
+        if u < edge:
+            return StepFault(FaultKind.KERNEL_FAULT)
+        edge += self.kv_loss_rate
+        if u < edge:
+            return StepFault(FaultKind.KV_LOSS, victim_draw=victim_draw)
+        edge += self.straggler_rate
+        if u < edge:
+            return StepFault(
+                FaultKind.STRAGGLER, slowdown=self.straggler_slowdown
+            )
+        return None
+
+    def request_abort_point(
+        self, request_id: int, max_new_tokens: int
+    ) -> int | None:
+        """Output-token index at which ``request_id``'s first attempt
+        aborts, or None if this request never faults."""
+        rng = np.random.default_rng([self.seed, _REQUEST_STREAM, request_id])
+        if rng.random() >= self.request_abort_rate:
+            return None
+        return int(rng.integers(1, max_new_tokens + 1))

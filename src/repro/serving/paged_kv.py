@@ -202,6 +202,15 @@ class PagedKVManager:
             del self._refcount[block]
             self._free.append(block)
 
+    def live_sequences(self) -> list[int]:
+        """Ids of sequences currently holding an allocation (sorted) —
+        the fault injector's candidate set for KV-loss faults and the
+        invariant tests' leak check."""
+        return sorted(self._sequences)
+
+    def has_sequence(self, seq_id: int) -> bool:
+        return seq_id in self._sequences
+
     def block_refcount(self, seq_id: int) -> list[int]:
         """Reference counts of a sequence's blocks (introspection)."""
         seq = self._sequences.get(seq_id)

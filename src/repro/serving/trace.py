@@ -103,16 +103,24 @@ def _step_chrome_event(span: SpanRecord) -> dict:
     }
 
 
+#: Lifecycle event kinds the tracer accepts (failure/retry instants).
+_EVENT_KINDS = ("rejected", "timed_out", "failed", "retry", "fault")
+
+
 class EngineTracer:
     """Collects step traces during an engine run.
 
     Steps are stored as simulated-domain span records; when the global
     telemetry subsystem is enabled they are also appended to
     ``repro.obs.tracer()`` so they appear in the merged trace export.
+    Failure/retry lifecycle instants (rejections, timeouts, fault
+    injections, retries) are kept in a separate event list so
+    :attr:`steps` stays a pure iteration timeline.
     """
 
     def __init__(self) -> None:
         self._spans: list[SpanRecord] = []
+        self._events: list[SpanRecord] = []
 
     @property
     def steps(self) -> list[StepTrace]:
@@ -159,6 +167,34 @@ class EngineTracer:
             span = step.to_span(span_id=len(self._spans))
         self._spans.append(span)
 
+    def record_event(self, event: str, ts: float, **attrs) -> None:
+        """Record a lifecycle instant (rejection, timeout, fault, retry)
+        at simulated time ``ts``; ``attrs`` annotate it (request_id,
+        reason, fault kind, ...)."""
+        if event not in _EVENT_KINDS:
+            raise ValueError(f"unknown event kind {event!r}")
+        if obs.enabled():
+            record = obs.tracer().event(
+                f"engine.{event}", ts=ts, cat=event, domain="sim", **attrs
+            )
+        else:
+            record = SpanRecord(
+                span_id=len(self._events),
+                parent_id=None,
+                name=f"engine.{event}",
+                cat=event,
+                start=ts,
+                duration=0.0,
+                domain="sim",
+                instant=True,
+                attrs=dict(attrs),
+            )
+        self._events.append(record)
+
+    def events(self) -> list[SpanRecord]:
+        """The recorded lifecycle instants, in record order."""
+        return list(self._events)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -197,8 +233,26 @@ class EngineTracer:
         return [asdict(s) for s in self.steps]
 
     def write_chrome_trace(self, path: str | Path) -> Path:
-        """Write chrome://tracing 'trace event' JSON (microsecond units)."""
+        """Write chrome://tracing 'trace event' JSON (microsecond units).
+
+        Lifecycle instants recorded via :meth:`record_event` appear as
+        ``ph: "i"`` markers after the step events; runs with no such
+        events produce the legacy byte-identical step-only trace.
+        """
         events = [_step_chrome_event(s) for s in self._spans]
+        events += [
+            {
+                "name": e.name,
+                "cat": e.cat,
+                "ph": "i",
+                "s": "g",
+                "ts": e.start * 1e6,
+                "pid": 0,
+                "tid": 0,
+                "args": dict(e.attrs),
+            }
+            for e in self._events
+        ]
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps({"traceEvents": events}))

@@ -12,7 +12,11 @@ import numpy as np
 
 from repro.serving.request import Request
 
-__all__ = ["make_poisson_trace", "make_heterogeneous_requests"]
+__all__ = [
+    "make_poisson_trace",
+    "make_heterogeneous_requests",
+    "make_overload_trace",
+]
 
 
 def make_poisson_trace(
@@ -52,6 +56,67 @@ def make_poisson_trace(
         )
         for i in range(num_requests)
     ]
+
+
+def make_overload_trace(
+    num_requests: int,
+    kv_token_capacity: int,
+    overload: float = 2.0,
+    burst_seconds: float = 1.0,
+    output_fraction: float = 0.25,
+    ttft_slo: float | None = None,
+    e2e_slo: float | None = None,
+    seed: int = 0,
+) -> list[Request]:
+    """A burst whose aggregate token demand exceeds the KV pool.
+
+    The offered load (sum of every request's ``total_len``) is scaled to
+    ``overload`` times ``kv_token_capacity`` and arrives inside a short
+    window, so the engine must queue, shed, or reject — the stress setting
+    for the resilience layer (``docs/resilience.md``).  Lengths vary
+    exponentially across requests; each splits ``1 - output_fraction`` /
+    ``output_fraction`` between prompt and output.
+
+    Args:
+        num_requests: trace length.
+        kv_token_capacity: the target engine's ``kv.token_capacity``.
+        overload: offered-load multiple of the pool capacity (> 0; values
+            above ~1 guarantee sustained KV pressure).
+        burst_seconds: arrival window width.
+        output_fraction: fraction of each request's tokens that is output.
+        ttft_slo / e2e_slo: optional per-request SLOs, applied uniformly.
+        seed: RNG seed.
+    """
+    if num_requests < 1:
+        raise ValueError("num_requests must be positive")
+    if kv_token_capacity < 1:
+        raise ValueError("kv_token_capacity must be positive")
+    if overload <= 0:
+        raise ValueError("overload must be positive")
+    if burst_seconds < 0:
+        raise ValueError("burst_seconds must be >= 0")
+    if not 0.0 < output_fraction < 1.0:
+        raise ValueError("output_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    weights = rng.exponential(1.0, size=num_requests)
+    lengths = np.maximum(
+        8, (weights / weights.sum() * overload * kv_token_capacity).astype(int)
+    )
+    arrivals = np.sort(rng.uniform(0.0, burst_seconds, size=num_requests))
+    out = []
+    for i, total in enumerate(lengths):
+        new_tokens = max(1, int(total * output_fraction))
+        out.append(
+            Request(
+                request_id=i,
+                prompt_len=max(1, int(total) - new_tokens),
+                max_new_tokens=new_tokens,
+                arrival_time=float(arrivals[i]),
+                ttft_slo=ttft_slo,
+                e2e_slo=e2e_slo,
+            )
+        )
+    return out
 
 
 def make_heterogeneous_requests(

@@ -118,11 +118,30 @@ class TestEngine:
         assert rep.peak_batch <= 2
         assert rep.requests_completed == 6
 
-    def test_oversized_request_stalls(self):
+    def test_oversized_request_rejected_not_stalled(self):
+        """A request that can never fit no longer crashes the scheduler —
+        it is REJECTED and the run completes (docs/resilience.md)."""
         eng = self._engine(max_batch=4)
         huge = eng.kv.token_capacity + 100
-        with pytest.raises(RuntimeError):
-            eng.run([Request(0, prompt_len=huge, max_new_tokens=4)])
+        req = Request(0, prompt_len=huge, max_new_tokens=4)
+        rep = eng.run([req])
+        assert req.phase is Phase.REJECTED
+        assert req.failure_reason
+        assert rep.requests_rejected == 1
+        assert rep.requests_completed == 0
+
+    def test_oversized_request_does_not_block_others(self):
+        eng = self._engine(max_batch=4)
+        huge = eng.kv.token_capacity + 100
+        reqs = [
+            Request(0, prompt_len=huge, max_new_tokens=4),
+            Request(1, prompt_len=64, max_new_tokens=8),
+        ]
+        rep = eng.run(reqs)
+        assert reqs[0].phase is Phase.REJECTED
+        assert reqs[1].phase is Phase.FINISHED
+        assert rep.requests_completed == 1
+        assert eng.kv.free_blocks == eng.kv.num_blocks
 
     def test_throughput_scales_with_batch(self):
         """Paper Figure 11: larger batches give higher throughput."""

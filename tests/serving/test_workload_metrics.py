@@ -148,11 +148,16 @@ class TestPreemption:
         report = eng.run(make_batch_requests(32, 64, 16))
         assert report.preemptions == 0
 
-    def test_single_oversized_request_errors(self):
+    def test_single_oversized_request_rejected(self):
+        """Previously raised RuntimeError; admission control now rejects
+        the infeasible request and the run completes cleanly."""
         eng = self._tight_engine()
         cap = eng.kv.token_capacity
-        with pytest.raises(RuntimeError):
-            eng.run([Request(0, prompt_len=16, max_new_tokens=2 * cap)])
+        req = Request(0, prompt_len=16, max_new_tokens=2 * cap)
+        report = eng.run([req])
+        assert req.phase is Phase.REJECTED
+        assert report.requests_rejected == 1
+        assert eng.kv.free_blocks == eng.kv.num_blocks
 
     @given(st.integers(2, 10), st.integers(0, 2**32 - 1))
     @settings(max_examples=10, deadline=None)
