@@ -1,0 +1,31 @@
+# Local aliases matching the CI jobs exactly — same commands, same flags,
+# so "it passes locally" means "it passes in CI".
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test staticcheck staticcheck-json staticcheck-baseline lint bench-smoke
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Blocking invariant gate (numerics / determinism / obs / API / layering).
+staticcheck:
+	$(PYTHON) -m repro.cli staticcheck
+
+## CI-identical JSON report (uploaded as the staticcheck-report artifact).
+staticcheck-json:
+	$(PYTHON) -m repro.cli staticcheck --format json --output staticcheck-report.json
+
+## Regenerate the committed baseline. Review the diff before committing:
+## every entry is a grandfathered violation someone must have justified.
+staticcheck-baseline:
+	$(PYTHON) -m repro.cli staticcheck --write-baseline --baseline staticcheck-baseline.json
+
+## Advisory: requires `pip install -e .[lint]` (ruff + mypy).
+lint:
+	ruff check src tests
+	mypy
+
+bench-smoke:
+	$(PYTHON) benchmarks/bench_hotpath.py --smoke

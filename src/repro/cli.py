@@ -373,6 +373,57 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_staticcheck(args: argparse.Namespace) -> int:
+    """Run the AST invariant checker (see docs/staticcheck.md) exactly as
+    the CI staticcheck gate does; exits 1 on any non-baselined violation."""
+    from pathlib import Path
+
+    from repro import staticcheck
+
+    root = staticcheck.resolve_root(
+        Path(args.path) if args.path else Path(__file__).parent
+    )
+    baseline = None
+    baseline_path = None
+    if not args.no_baseline:
+        baseline_path = (
+            Path(args.baseline) if args.baseline
+            else staticcheck.discover_baseline(root)
+        )
+        if baseline_path is not None and baseline_path.is_file():
+            baseline = staticcheck.load_baseline(baseline_path)
+        elif args.baseline and not args.write_baseline:
+            print(f"baseline not found: {baseline_path}", file=sys.stderr)
+            return 2
+
+    result = staticcheck.run_check(
+        root, baseline=baseline,
+        select=set(args.select) if args.select else None,
+    )
+
+    if args.write_baseline:
+        target = baseline_path or root.parent.parent / "staticcheck-baseline.json"
+        count = staticcheck.write_baseline(target, result.reported)
+        print(f"baseline written to {target} ({count} entries)")
+        return 0
+
+    rendered = (
+        staticcheck.format_json(result)
+        if args.format == "json"
+        else staticcheck.format_text(result, verbose=args.verbose)
+    )
+    if args.output:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(rendered + "\n")
+        print(f"report written to {out}")
+        if args.format == "text":
+            print(rendered.splitlines()[-1])
+    else:
+        print(rendered)
+    return result.exit_code
+
+
 def _cmd_roofline(args: argparse.Namespace) -> int:
     spec = KNOWN_GPUS[args.gpu]
     print(f"{spec.name}: balance points "
@@ -496,6 +547,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--probe", type=int, default=None,
                    help="requests per probe run (default: one full batch)")
     p.set_defaults(func=_cmd_plan)
+
+    p = sub.add_parser(
+        "staticcheck",
+        help="AST invariant checker: numerics, determinism, obs contracts",
+    )
+    p.add_argument("path", nargs="?", default=None,
+                   help="tree to scan (default: the installed repro package)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--output", metavar="PATH", default=None,
+                   help="write the report here instead of stdout")
+    p.add_argument("--baseline", metavar="PATH", default=None,
+                   help="baseline file (default: discovered "
+                        "staticcheck-baseline.json)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="report baselined violations as live")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="accept all current violations into the baseline")
+    p.add_argument("--select", action="append", metavar="RULE",
+                   help="only run this rule ID or family (repeatable)")
+    p.add_argument("--verbose", action="store_true",
+                   help="also list suppressed and baselined violations")
+    p.set_defaults(func=_cmd_staticcheck)
 
     p = sub.add_parser("roofline", help="print Figure 2 roofline points")
     p.add_argument("--gpu", choices=sorted(KNOWN_GPUS), default="A100-80G-SXM4")

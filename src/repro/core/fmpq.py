@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-import repro.obs as obs
+from repro import instrument
 from repro.core.blockwise import (
     BlockConfig,
     BlockPrecisionPlan,
@@ -240,20 +240,20 @@ def calibrate_linear(
     """
     config = config or FMPQConfig()
     weight = np.asarray(weight, dtype=np.float32)
-    with obs.span(
+    with instrument.span(
         "fmpq.calibrate", cat="fmpq", layer=name, channels=weight.shape[1]
     ):
-        with obs.span("fmpq.collect_stats", cat="fmpq"):
+        with instrument.span("fmpq.collect_stats", cat="fmpq"):
             stats = collect_channel_stats(calibration_activations)
             mask = outlier_channel_mask(stats, config.outlier_threshold)
 
-        with obs.span("fmpq.permute", cat="fmpq"):
+        with instrument.span("fmpq.permute", cat="fmpq"):
             if config.use_permutation and mask.any():
                 perm = outlier_clustering_permutation(mask, scores=stats.score())
             else:
                 perm = identity_permutation(weight.shape[1])
 
-        with obs.span("fmpq.assign_blocks", cat="fmpq"):
+        with instrument.span("fmpq.assign_blocks", cat="fmpq"):
             mask_perm = mask[perm.forward]
             plan = assign_block_precisions(mask_perm, config.block)
             if config.force_high_precision:
@@ -267,7 +267,7 @@ def calibrate_linear(
                     is_high=np.zeros(plan.num_blocks, dtype=bool),
                 )
 
-        with obs.span("fmpq.weight_quant", cat="fmpq", method=config.weight_method):
+        with instrument.span("fmpq.weight_quant", cat="fmpq", method=config.weight_method):
             weight_perm = perm.apply_to_weight(weight)
             if config.weight_method == "gptq":
                 # Import here: baselines depend on core, not the other way
@@ -297,32 +297,32 @@ def calibrate_linear(
         num_blocks=plan.num_blocks,
         num_high_blocks=int(plan.is_high.sum()),
     )
-    if obs.enabled():
+    if instrument.enabled():
         _record_calibration_metrics(layer_stats)
     return layer, layer_stats
 
 
 def _record_calibration_metrics(stats: LayerQuantStats) -> None:
-    m = obs.metrics()
+    m = instrument.metrics()
     m.counter(
         "fmpq.layers_calibrated_total",
-        obs.metric_help("fmpq.layers_calibrated_total"),
+        instrument.metric_help("fmpq.layers_calibrated_total"),
     ).inc()
     m.counter(
-        "fmpq.channels_total", obs.metric_help("fmpq.channels_total")
+        "fmpq.channels_total", instrument.metric_help("fmpq.channels_total")
     ).inc(stats.num_channels)
     m.counter(
         "fmpq.outlier_channels_total",
-        obs.metric_help("fmpq.outlier_channels_total"),
+        instrument.metric_help("fmpq.outlier_channels_total"),
     ).inc(stats.num_outlier_channels)
     m.counter(
-        "fmpq.blocks_total", obs.metric_help("fmpq.blocks_total")
+        "fmpq.blocks_total", instrument.metric_help("fmpq.blocks_total")
     ).inc(stats.num_blocks)
     m.counter(
-        "fmpq.high_blocks_total", obs.metric_help("fmpq.high_blocks_total")
+        "fmpq.high_blocks_total", instrument.metric_help("fmpq.high_blocks_total")
     ).inc(stats.num_high_blocks)
     m.histogram(
         "fmpq.w4a4_block_fraction",
-        obs.metric_help("fmpq.w4a4_block_fraction"),
-        buckets=obs.FRACTION_BUCKETS,
+        instrument.metric_help("fmpq.w4a4_block_fraction"),
+        buckets=instrument.FRACTION_BUCKETS,
     ).observe(stats.w4a4_gemm_fraction)

@@ -177,8 +177,14 @@ def quantize_asymmetric(
 def dequantize_asymmetric(
     q: np.ndarray, scale: np.ndarray, zero: np.ndarray
 ) -> np.ndarray:
-    """Inverse of :func:`quantize_asymmetric`."""
-    return (q.astype(np.float32) - zero) * np.asarray(scale, dtype=np.float32)
+    """Inverse of :func:`quantize_asymmetric`; always returns float32.
+
+    ``zero`` is cast like ``scale``: a float64 zero point from a caller
+    must not silently upcast the whole dequantized tensor.
+    """
+    return (
+        q.astype(np.float32) - np.asarray(zero, dtype=np.float32)
+    ) * np.asarray(scale, dtype=np.float32)
 
 
 def quantization_error(x: np.ndarray, x_hat: np.ndarray) -> float:

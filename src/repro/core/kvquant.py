@@ -29,7 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-import repro.obs as obs
+from repro import instrument
 from repro.core.intquant import (
     INT4,
     QuantSpec,
@@ -300,17 +300,17 @@ class QuantizedKVCache:
             )
             self._final_tokens = end
         self._final_groups = len(self._sealed)
-        if obs.enabled():
-            metrics = obs.metrics()
+        if instrument.enabled():
+            metrics = instrument.metrics()
             if hits:
                 metrics.counter(
                     "kvcache.groups_dequant_cached_hits_total",
-                    obs.metric_help("kvcache.groups_dequant_cached_hits_total"),
+                    instrument.metric_help("kvcache.groups_dequant_cached_hits_total"),
                 ).inc(hits)
             if misses:
                 metrics.counter(
                     "kvcache.groups_dequant_cached_misses_total",
-                    obs.metric_help("kvcache.groups_dequant_cached_misses_total"),
+                    instrument.metric_help("kvcache.groups_dequant_cached_misses_total"),
                 ).inc(misses)
 
     def _write_tail(self) -> None:

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-import repro.obs as obs
+from repro import instrument
 from repro.core.intquant import (
     INT4,
     QuantSpec,
@@ -135,7 +135,7 @@ def quantize_weight(
     best_err = np.full((out_f, num_groups), np.inf, dtype=np.float64)
     best_scale = np.empty((out_f, num_groups), dtype=np.float32)
     best_codes = np.empty((out_f, num_groups, group_size), dtype=np.int8)
-    with obs.span(
+    with instrument.span(
         "fmpq.clip_search", cat="fmpq",
         grid=len(clip_grid), groups=out_f * num_groups,
     ):
@@ -148,10 +148,10 @@ def quantize_weight(
             best_err = np.where(better, err, best_err)
             best_scale = np.where(better, s[..., 0], best_scale)
             best_codes = np.where(better[..., None], q, best_codes)
-    if obs.enabled():
-        obs.metrics().counter(
+    if instrument.enabled():
+        instrument.metrics().counter(
             "fmpq.clip_search_iterations_total",
-            obs.metric_help("fmpq.clip_search_iterations_total"),
+            instrument.metric_help("fmpq.clip_search_iterations_total"),
         ).inc(len(clip_grid))
     return QuantizedWeight(
         codes=best_codes.reshape(out_f, in_f),

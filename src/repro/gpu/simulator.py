@@ -79,7 +79,7 @@ class ScheduleResult:
 
 
 def _wave_barrier(durations: list[float], num_sms: int, sync: float):
-    busy = np.zeros(num_sms)
+    busy = np.zeros(num_sms, dtype=np.float64)
     makespan = 0.0
     waves = 0
     for w0 in range(0, len(durations), num_sms):
@@ -92,7 +92,7 @@ def _wave_barrier(durations: list[float], num_sms: int, sync: float):
 
 
 def _static_queue(durations: list[float], num_sms: int, sync: float):
-    busy = np.zeros(num_sms)
+    busy = np.zeros(num_sms, dtype=np.float64)
     for i, d in enumerate(durations):
         busy[i % num_sms] += d
     waves = -(-len(durations) // num_sms) if durations else 0
@@ -115,8 +115,10 @@ def _balanced(durations: list[float], num_sms: int, sync: float):
     # Remapping may always keep the original static binding, so take the
     # better of the LPT remap and the round-robin identity mapping (LPT is
     # a heuristic and can lose on adversarial inputs).
-    lpt_busy = np.array([sum(q) for q in _lpt_assign(durations, num_sms)])
-    rr_busy = np.zeros(num_sms)
+    lpt_busy = np.array(
+        [sum(q) for q in _lpt_assign(durations, num_sms)], dtype=np.float64
+    )
+    rr_busy = np.zeros(num_sms, dtype=np.float64)
     for i, d in enumerate(durations):
         rr_busy[i % num_sms] += d
     busy = lpt_busy if lpt_busy.max() <= rr_busy.max() else rr_busy
@@ -133,7 +135,7 @@ def _work_stealing(
 ):
     durations = [t.duration for t in tasks]
     _, balanced_busy, _, _ = _balanced(durations, num_sms, 0.0)
-    busy = np.asarray(balanced_busy, dtype=np.float64).copy()
+    busy = balanced_busy.copy()  # float64 sim-time accumulator from _balanced
     # Idle SMs steal halves of the largest remaining piece; every stolen
     # piece pays a shared-memory re-load overhead.  Pieces stop splitting
     # below 1/max_split of the original tile.
@@ -176,7 +178,7 @@ def simulate_schedule(
     if num_sms <= 0:
         raise ValueError("num_sms must be positive")
     if not tasks:
-        return ScheduleResult(policy, 0.0, np.zeros(num_sms), 0, 0.0)
+        return ScheduleResult(policy, 0.0, np.zeros(num_sms, dtype=np.float64), 0, 0.0)
     durations = [t.duration for t in tasks]
     with obs.span(
         "gpu.simulate_schedule", cat="gpu",

@@ -1,0 +1,176 @@
+"""``repro.instrument`` — layering-neutral telemetry seam for bottom layers.
+
+The numerics layer sits *below* observability in the import graph:
+``repro.core`` must not import ``repro.obs`` (the staticcheck IMP002 rule,
+see ``docs/staticcheck.md``).  This module is the dependency-free
+indirection core code emits telemetry through instead:
+
+* :mod:`repro.obs` registers itself as the **provider** when it is first
+  imported; until then — and whenever telemetry is disabled — every helper
+  here degrades to a shared no-op, so instrumented hot paths cost one
+  attribute check and nothing else.
+* The no-op instruments and the canonical histogram bucket edges are
+  defined here and re-exported by :mod:`repro.obs.registry` /
+  :mod:`repro.obs.spans`, so both layers agree on them without an import
+  cycle.
+
+Call sites look exactly like the ``repro.obs`` ones::
+
+    from repro import instrument
+
+    if instrument.enabled():
+        instrument.metrics().counter("fmpq.blocks_total").inc(n)
+    with instrument.span("fmpq.permute", cat="fmpq"):
+        ...
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol
+
+__all__ = [
+    "enabled",
+    "metrics",
+    "span",
+    "metric_help",
+    "set_provider",
+    "provider",
+    "NullRegistry",
+    "NULL_INSTRUMENT",
+    "NULL_SPAN_HANDLE",
+    "DEFAULT_TIME_BUCKETS",
+    "FRACTION_BUCKETS",
+]
+
+#: Default histogram edges, tuned for simulated kernel/step/request times in
+#: seconds: microseconds at the fine end, tens of seconds at the coarse end.
+DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+#: Edges for [0, 1] quantities such as occupancy and block fractions.
+FRACTION_BUCKETS: tuple[float, ...] = (
+    0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
+)
+
+
+class _NullInstrument:
+    """Absorbs every instrument call; ``labels`` returns itself."""
+
+    __slots__ = ()
+
+    def labels(self, **labels: object) -> "_NullInstrument":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """Disabled-mode registry: every accessor returns one shared no-op."""
+
+    def counter(self, *args: object, **kwargs: object) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def gauge(self, *args: object, **kwargs: object) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def histogram(self, *args: object, **kwargs: object) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def get(self, name: str) -> None:
+        return None
+
+    def collect(self) -> list:
+        return []
+
+    def names(self) -> list[str]:
+        return []
+
+    def reset(self) -> None:
+        pass
+
+
+class _NullSpanHandle:
+    """Disabled-mode handle: absorbs ``set`` and works as a context."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpanHandle":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+NULL_SPAN_HANDLE = _NullSpanHandle()
+
+_NULL_REGISTRY = NullRegistry()
+
+
+class TelemetryProvider(Protocol):
+    """What :func:`set_provider` expects; :mod:`repro.obs` satisfies it."""
+
+    def enabled(self) -> bool: ...
+
+    def metrics(self) -> Any: ...
+
+    def span(self, name: str, cat: str = ..., **attrs: object) -> Any: ...
+
+    def metric_help(self, name: str) -> str: ...
+
+
+_provider: TelemetryProvider | None = None
+
+
+def set_provider(p: TelemetryProvider | None) -> None:
+    """Install the active telemetry provider (``repro.obs`` does this on
+    import); pass ``None`` to detach and revert every helper to a no-op."""
+    global _provider
+    _provider = p
+
+
+def provider() -> TelemetryProvider | None:
+    """The installed provider, or ``None`` when telemetry never loaded."""
+    return _provider
+
+
+def enabled() -> bool:
+    """Fast hot-path check: is a provider installed *and* collecting?"""
+    return _provider is not None and _provider.enabled()
+
+
+def metrics() -> Any:
+    """The provider's metrics registry (a shared no-op when detached)."""
+    if _provider is None:
+        return _NULL_REGISTRY
+    return _provider.metrics()
+
+
+def span(name: str, cat: str = "span", **attrs: object) -> Any:
+    """Open a provider span when telemetry is live; no-op context otherwise."""
+    if _provider is None or not _provider.enabled():
+        return NULL_SPAN_HANDLE
+    return _provider.span(name, cat=cat, **attrs)
+
+
+def metric_help(name: str) -> str:
+    """Catalog help string for ``name`` ('' when no provider is attached)."""
+    if _provider is None:
+        return ""
+    return _provider.metric_help(name)

@@ -32,6 +32,11 @@ This is the executable specification of paper Section 4.3.
 
 from __future__ import annotations
 
+# staticcheck: ignore-file[NUM] -- this module's float64 is exact integer
+# arithmetic by construction: code products are <= 2**14, partial sums stay
+# below 2**53, so float64 BLAS accumulates the same integers an int32
+# tensor-core accumulator would (see _matmul_operand).
+
 import numpy as np
 
 import repro.obs as obs

@@ -27,8 +27,10 @@ Modules:
 
 from __future__ import annotations
 
+import sys
 import threading
 
+from repro import instrument as _instrument
 from repro.obs import catalog, export, snapshot  # noqa: F401 (re-export)
 from repro.obs.catalog import METRIC_CATALOG, metric_help
 from repro.obs.registry import (
@@ -137,3 +139,10 @@ def event(
     """Record an instant event when enabled; no-op otherwise."""
     if _enabled and _tracer is not None:
         _tracer.event(name, ts=ts, cat=cat, domain=domain, **attrs)
+
+
+# Register this module as the telemetry provider behind the layering-neutral
+# seam: repro.core emits through repro.instrument (core must not import
+# repro.obs — staticcheck IMP002), and those calls forward here from the
+# moment this package is first imported.
+_instrument.set_provider(sys.modules[__name__])

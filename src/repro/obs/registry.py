@@ -24,6 +24,17 @@ from __future__ import annotations
 import threading
 from bisect import bisect_left
 
+# The no-op instruments and canonical bucket edges live in the layering-
+# neutral seam (repro.instrument) so core-layer call sites can share them
+# without importing repro.obs; re-exported here for backwards compatibility.
+from repro.instrument import (  # noqa: F401 (re-export)
+    DEFAULT_TIME_BUCKETS,
+    FRACTION_BUCKETS,
+    NULL_INSTRUMENT,
+    NullRegistry,
+    _NullInstrument,
+)
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -34,17 +45,6 @@ __all__ = [
     "DEFAULT_TIME_BUCKETS",
     "FRACTION_BUCKETS",
 ]
-
-#: Default histogram edges, tuned for simulated kernel/step/request times in
-#: seconds: microseconds at the fine end, tens of seconds at the coarse end.
-DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
-    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
-)
-
-#: Edges for [0, 1] quantities such as occupancy and block fractions.
-FRACTION_BUCKETS: tuple[float, ...] = (
-    0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
-)
 
 
 def _label_key(
@@ -296,50 +296,3 @@ class MetricsRegistry:
         self._families.clear()
 
 
-class _NullInstrument:
-    """Absorbs every instrument call; ``labels`` returns itself."""
-
-    __slots__ = ()
-
-    def labels(self, **labels) -> "_NullInstrument":
-        return self
-
-    def inc(self, amount: float = 1.0) -> None:
-        pass
-
-    def dec(self, amount: float = 1.0) -> None:
-        pass
-
-    def set(self, value: float) -> None:
-        pass
-
-    def observe(self, value: float) -> None:
-        pass
-
-
-NULL_INSTRUMENT = _NullInstrument()
-
-
-class NullRegistry:
-    """Disabled-mode registry: every accessor returns one shared no-op."""
-
-    def counter(self, *args, **kwargs) -> _NullInstrument:
-        return NULL_INSTRUMENT
-
-    def gauge(self, *args, **kwargs) -> _NullInstrument:
-        return NULL_INSTRUMENT
-
-    def histogram(self, *args, **kwargs) -> _NullInstrument:
-        return NULL_INSTRUMENT
-
-    def get(self, name: str) -> None:
-        return None
-
-    def collect(self) -> list:
-        return []
-
-    def names(self) -> list[str]:
-        return []
-
-    def reset(self) -> None:
-        pass

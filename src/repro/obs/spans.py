@@ -24,6 +24,8 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.instrument import NULL_SPAN_HANDLE as _NULL_SPAN_HANDLE
+
 __all__ = ["SpanRecord", "SpanHandle", "SpanTracer", "NULL_SPAN_HANDLE"]
 
 
@@ -59,22 +61,9 @@ class SpanHandle:
         self._record.attrs.update(attrs)
 
 
-class _NullSpanHandle:
-    """Disabled-mode handle: absorbs ``set`` and works as a context."""
-
-    __slots__ = ()
-
-    def set(self, **attrs) -> None:
-        pass
-
-    def __enter__(self) -> "_NullSpanHandle":
-        return self
-
-    def __exit__(self, *exc) -> bool:
-        return False
-
-
-NULL_SPAN_HANDLE = _NullSpanHandle()
+# The disabled-mode handle lives in the layering-neutral seam
+# (repro.instrument); re-exported here for backwards compatibility.
+NULL_SPAN_HANDLE = _NULL_SPAN_HANDLE
 
 
 class _SpanContext:

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import repro.obs as obs
 from repro.gpu.spec import A100_80G_SXM4, GPUSpec
@@ -40,6 +41,9 @@ from repro.serving.memory_planner import DEFAULT_HBM_BYTES, MemoryPlan, plan_mem
 from repro.serving.paged_kv import PagedKVManager
 from repro.serving.request import Phase, Request
 from repro.serving.systems import ServingSystem
+
+if TYPE_CHECKING:  # deferred: trace imports obs eagerly, engine lazily
+    from repro.serving.trace import EngineTracer
 
 __all__ = ["EngineConfig", "ThroughputReport", "ServingEngine"]
 
@@ -441,7 +445,7 @@ class ServingEngine:
     def run(
         self,
         requests: list[Request],
-        tracer=None,
+        tracer: "EngineTracer | None" = None,
         faults: FaultPlan | None = None,
     ) -> ThroughputReport:
         """Serve a request list to completion and report throughput.

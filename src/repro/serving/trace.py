@@ -167,7 +167,7 @@ class EngineTracer:
             span = step.to_span(span_id=len(self._spans))
         self._spans.append(span)
 
-    def record_event(self, event: str, ts: float, **attrs) -> None:
+    def record_event(self, event: str, ts: float, **attrs: object) -> None:
         """Record a lifecycle instant (rejection, timeout, fault, retry)
         at simulated time ``ts``; ``attrs`` annotate it (request_id,
         reason, fault kind, ...)."""

@@ -1,0 +1,51 @@
+"""``repro.staticcheck`` — AST-based invariant checker for this repo.
+
+The test suite can only *sample* COMET's numeric and determinism
+invariants; this package enforces them on every line of ``src/``:
+
+* **NUM** — no silent float64 upcasts in the quantization hot paths;
+* **DET** — no unseeded RNG or wall-clock reads in deterministic scopes;
+* **OBS** — bidirectional consistency between emitted metric names and
+  ``obs/catalog.py``;
+* **API** — complete type annotations on the public ``core``/``serving``
+  surface;
+* **IMP** — one-way import layering (``core`` below ``obs``/``serving``).
+
+Run it exactly as CI does::
+
+    python -m repro.cli staticcheck --format json
+
+See ``docs/staticcheck.md`` for the rule catalog, suppression syntax
+(``# staticcheck: ignore[RULE]``), the committed baseline, and how to add
+a rule.
+"""
+
+from __future__ import annotations
+
+from repro.staticcheck.baseline import (
+    Baseline,
+    discover_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.staticcheck.engine import CheckResult, resolve_root, run_check
+from repro.staticcheck.model import Rule, Severity, Violation
+from repro.staticcheck.report import format_json, format_text
+from repro.staticcheck.rules import ALL_RULES, RULES_BY_ID
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "Baseline",
+    "CheckResult",
+    "Rule",
+    "Severity",
+    "Violation",
+    "discover_baseline",
+    "format_json",
+    "format_text",
+    "load_baseline",
+    "resolve_root",
+    "run_check",
+    "write_baseline",
+]

@@ -1,0 +1,90 @@
+"""Committed-baseline support: grandfathered violations that don't gate CI.
+
+The baseline file (``staticcheck-baseline.json`` at the repo root) lists
+violations that are *intentional and reviewed* — e.g. the deliberate
+float64 measurement precision in ``core/intquant.quantization_error``.
+Entries match on ``(rule, path, stripped line text)``, so they survive
+line-number drift but go stale (and start failing) the moment the
+offending line is edited — which is the point: every change to a
+baselined line forces a fresh decision.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.staticcheck.model import Violation
+
+__all__ = ["Baseline", "load_baseline", "write_baseline"]
+
+BASELINE_VERSION = 1
+DEFAULT_BASENAME = "staticcheck-baseline.json"
+
+
+class Baseline:
+    """An in-memory set of grandfathered violation fingerprints."""
+
+    def __init__(self, entries: list[dict[str, str]] | None = None):
+        self._keys: set[tuple[str, str, str]] = set()
+        for entry in entries or []:
+            self._keys.add(
+                (entry["rule"], entry["path"], entry["line_text"])
+            )
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def keys(self) -> frozenset[tuple[str, str, str]]:
+        """Fingerprints as ``(rule, path, line_text)`` tuples."""
+        return frozenset(self._keys)
+
+    def covers(self, violation: Violation) -> bool:
+        return (
+            violation.rule.id, violation.rel, violation.line_text
+        ) in self._keys
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Load a baseline file; raises ``ValueError`` on a bad schema."""
+    data = json.loads(path.read_text())
+    if not isinstance(data, dict) or "entries" not in data:
+        raise ValueError(f"{path}: not a staticcheck baseline file")
+    version = data.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: baseline version {version!r}, expected "
+            f"{BASELINE_VERSION}"
+        )
+    return Baseline(data["entries"])
+
+
+def write_baseline(path: Path, violations: list[Violation]) -> int:
+    """Write the given violations as the new baseline; returns the count.
+
+    Entries are deduplicated by fingerprint and sorted so the file diffs
+    cleanly under review.
+    """
+    seen: set[tuple[str, str, str]] = set()
+    entries = []
+    for v in sorted(violations, key=Violation.sort_key):
+        key = (v.rule.id, v.rel, v.line_text)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append(
+            {"rule": v.rule.id, "path": v.rel, "line_text": v.line_text}
+        )
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return len(entries)
+
+
+def discover_baseline(scan_root: Path) -> Path | None:
+    """Find the committed baseline by walking up from the scan root."""
+    for parent in (scan_root, *scan_root.parents):
+        candidate = parent / DEFAULT_BASENAME
+        if candidate.is_file():
+            return candidate
+    return None

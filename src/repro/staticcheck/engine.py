@@ -1,0 +1,150 @@
+"""The staticcheck engine: walk a tree, run every rule, classify results.
+
+The engine is purely static — it parses files with :mod:`ast` and never
+imports the code under check — so it is safe to run on broken trees and
+cannot be fooled by import-time side effects.  ``run_check`` is the one
+entry point; the CLI (``repro.cli staticcheck``) and the meta-test both go
+through it, so local and CI results are identical by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.staticcheck.baseline import Baseline
+from repro.staticcheck.model import FileContext, Severity, Violation
+from repro.staticcheck.rules import FILE_CHECKERS
+from repro.staticcheck.rules import obs as obs_rules
+from repro.staticcheck.suppress import parse_suppressions
+
+__all__ = ["CheckResult", "run_check", "resolve_root"]
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one engine run over one tree."""
+
+    root: Path
+    files_scanned: int = 0
+    violations: list[Violation] = field(default_factory=list)
+    parse_errors: list[str] = field(default_factory=list)
+
+    def by_status(self, status: str) -> list[Violation]:
+        return [v for v in self.violations if v.status == status]
+
+    @property
+    def reported(self) -> list[Violation]:
+        return self.by_status("reported")
+
+    @property
+    def exit_code(self) -> int:
+        """Nonzero iff any non-suppressed, non-baselined *error* remains
+        (or a file failed to parse — an unparseable file checks nothing)."""
+        gating = [
+            v for v in self.reported if v.rule.severity is Severity.ERROR
+        ]
+        return 1 if gating or self.parse_errors else 0
+
+    def summary_counts(self) -> dict[str, int]:
+        return {
+            "reported": len(self.reported),
+            "suppressed": len(self.by_status("suppressed")),
+            "baselined": len(self.by_status("baselined")),
+            "parse_errors": len(self.parse_errors),
+            "files_scanned": self.files_scanned,
+        }
+
+
+def resolve_root(path: Path) -> Path:
+    """Normalise a scan path to the package root.
+
+    Accepts the package directory itself (``src/repro``), its parent
+    (``src``), or a repo root containing ``src/repro``; the package root
+    is what rule scopes like ``core/`` are relative to.
+    """
+    path = path.resolve()
+    for candidate in (path, path / "repro", path / "src" / "repro"):
+        if (candidate / "__init__.py").is_file():
+            return candidate
+    return path
+
+
+def _iter_source_files(root: Path) -> list[Path]:
+    return sorted(
+        p for p in root.rglob("*.py") if "__pycache__" not in p.parts
+    )
+
+
+def _load_context(
+    root: Path, path: Path, errors: list[str]
+) -> FileContext | None:
+    rel = path.relative_to(root).as_posix()
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+        errors.append(f"{rel}: {exc}")
+        return None
+    return FileContext(
+        path=path,
+        rel=rel,
+        tree=tree,
+        lines=source.splitlines(),
+        suppressions=parse_suppressions(source),
+    )
+
+
+def run_check(
+    root: Path,
+    baseline: Baseline | None = None,
+    select: set[str] | None = None,
+) -> CheckResult:
+    """Run every rule over the tree at ``root``.
+
+    Args:
+        root: scan root (normalised via :func:`resolve_root` by the CLI).
+        baseline: grandfathered fingerprints; matching violations are
+            classified ``baselined`` instead of ``reported``.
+        select: when given, keep only rules whose ID or family prefix is
+            in the set (e.g. ``{"NUM", "IMP001"}``).
+    """
+    result = CheckResult(root=root)
+    contexts: list[FileContext] = []
+    for path in _iter_source_files(root):
+        ctx = _load_context(root, path, result.parse_errors)
+        if ctx is not None:
+            contexts.append(ctx)
+    result.files_scanned = len(contexts)
+
+    violations: list[Violation] = []
+    for ctx in contexts:
+        for checker in FILE_CHECKERS:
+            violations.extend(checker(ctx))
+
+    catalog = None
+    for ctx in contexts:
+        if ctx.rel == obs_rules.CATALOG_REL:
+            catalog = obs_rules.parse_catalog(ctx)
+            break
+    violations.extend(obs_rules.check_project(contexts, catalog))
+
+    if select:
+        violations = [
+            v
+            for v in violations
+            if v.rule.id in select or v.rule.family in select
+        ]
+
+    suppressions = {ctx.rel: ctx.suppressions for ctx in contexts}
+    for v in violations:
+        sup = suppressions.get(v.rel)
+        if sup is not None and sup.covers(v.rule.id, v.line):
+            v.status = "suppressed"
+        elif baseline is not None and baseline.covers(v):
+            v.status = "baselined"
+
+    violations.sort(key=Violation.sort_key)
+    result.violations = violations
+    return result

@@ -1,0 +1,73 @@
+"""Report rendering: human-readable text and a stable JSON schema.
+
+The JSON document (``schema_version`` 1) is what CI uploads as an
+artifact; its shape is pinned by ``tests/staticcheck/test_report.py``::
+
+    {
+      "schema_version": 1,
+      "tool": "repro.staticcheck",
+      "root": "<scan root>",
+      "summary": {"reported": N, "suppressed": N, "baselined": N,
+                   "parse_errors": N, "files_scanned": N,
+                   "by_rule": {"NUM001": N, ...}},
+      "violations": [ {rule, family, severity, path, line, col,
+                        message, line_text, status}, ... ],
+      "parse_errors": ["<path>: <error>", ...],
+      "exit_code": 0 | 1
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.staticcheck.engine import CheckResult
+
+__all__ = ["format_text", "format_json", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+
+def format_text(result: CheckResult, verbose: bool = False) -> str:
+    """One line per reported violation plus a summary footer.
+
+    With ``verbose``, suppressed and baselined violations are listed too
+    (marked as such) — useful when auditing the suppression inventory.
+    """
+    lines: list[str] = []
+    for v in result.violations:
+        if v.status != "reported" and not verbose:
+            continue
+        marker = "" if v.status == "reported" else f" [{v.status}]"
+        lines.append(
+            f"{v.rel}:{v.line}:{v.col + 1}: {v.rule.id} "
+            f"{v.message}{marker}"
+        )
+    for err in result.parse_errors:
+        lines.append(f"parse error: {err}")
+    counts = result.summary_counts()
+    lines.append(
+        f"staticcheck: {counts['files_scanned']} files, "
+        f"{counts['reported']} violation(s), "
+        f"{counts['suppressed']} suppressed, "
+        f"{counts['baselined']} baselined"
+    )
+    return "\n".join(lines)
+
+
+def format_json(result: CheckResult) -> str:
+    by_rule = Counter(v.rule.id for v in result.reported)
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "tool": "repro.staticcheck",
+        "root": str(result.root),
+        "summary": {
+            **result.summary_counts(),
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+        "violations": [v.to_dict() for v in result.violations],
+        "parse_errors": list(result.parse_errors),
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(payload, indent=2)

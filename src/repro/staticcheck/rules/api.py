@@ -1,0 +1,130 @@
+"""API — public-surface typing contracts for ``core/`` and ``serving/``.
+
+These packages are the repo's stable API (quantizers and the serving
+engine); mypy strict-typing starts from them, and annotation gaps there
+leak ``Any`` through every caller.
+
+* **API001** — public functions (module-level defs and methods of public
+  classes; names not starting with ``_``; nested defs exempt) must
+  annotate every parameter (``self``/``cls`` exempt, ``*args``/``**kwargs``
+  included) and the return type.
+* **API002** — dataclass fields defaulting to ``None`` must say so in the
+  annotation (``X | None`` / ``Optional[X]``): a config field that silently
+  holds ``None`` under a non-optional annotation defeats downstream
+  validation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.model import (
+    FileContext,
+    Rule,
+    Severity,
+    Violation,
+    in_api_scope,
+)
+
+__all__ = ["RULES", "check_file"]
+
+API001 = Rule(
+    "API001", "API", Severity.ERROR,
+    "public functions must have complete type annotations",
+)
+API002 = Rule(
+    "API002", "API", Severity.ERROR,
+    "dataclass fields defaulting to None must be annotated optional",
+)
+
+RULES = (API001, API002)
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _missing_annotations(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    args = fn.args
+    missing = [
+        a.arg
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        if a.annotation is None and a.arg not in ("self", "cls")
+    ]
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append("*" + args.vararg.arg)
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append("**" + args.kwarg.arg)
+    if fn.returns is None:
+        missing.append("return")
+    return missing
+
+
+def _check_function(
+    ctx: FileContext, fn: ast.FunctionDef | ast.AsyncFunctionDef
+) -> Iterator[Violation]:
+    if fn.name.startswith("_"):
+        return
+    missing = _missing_annotations(fn)
+    if missing:
+        yield ctx.violation(
+            API001, fn,
+            f"public function {fn.name!r} is missing annotations for: "
+            + ", ".join(missing),
+        )
+
+
+def _check_dataclass(
+    ctx: FileContext, cls: ast.ClassDef
+) -> Iterator[Violation]:
+    for stmt in cls.body:
+        if not (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is None
+        ):
+            continue
+        ann = ast.unparse(stmt.annotation)
+        if "None" in ann or "Optional" in ann or "Any" in ann:
+            continue
+        yield ctx.violation(
+            API002, stmt,
+            f"dataclass field {stmt.target.id!r} of {cls.name!r} defaults "
+            f"to None but is annotated {ann!r}; annotate it optional",
+        )
+
+
+def check_file(ctx: FileContext) -> Iterator[Violation]:
+    if not in_api_scope(ctx.rel):
+        return
+
+    def visit(body: list[ast.stmt], in_public_scope: bool) -> Iterator[Violation]:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if in_public_scope:
+                    yield from _check_function(ctx, node)
+                # Nested defs are implementation detail: don't descend.
+            elif isinstance(node, ast.ClassDef):
+                if _is_dataclass_decorated(node):
+                    yield from _check_dataclass(ctx, node)
+                public = in_public_scope and not node.name.startswith("_")
+                yield from visit(node.body, public)
+            elif isinstance(node, (ast.If, ast.Try, ast.With)):
+                # Guarded module-level defs (e.g. under TYPE_CHECKING)
+                # still form public API surface.
+                for attr in ("body", "orelse", "finalbody"):
+                    sub_body = getattr(node, attr, None)
+                    if sub_body:
+                        yield from visit(sub_body, in_public_scope)
+                for handler in getattr(node, "handlers", []):
+                    yield from visit(handler.body, in_public_scope)
+
+    yield from visit(ctx.tree.body, True)

@@ -1,0 +1,108 @@
+"""IMP — import layering between the repo's packages.
+
+The numerics stack must stay servable without the serving or telemetry
+layers loaded, and the dependency arrows must point one way:
+
+* **IMP001** — ``core/`` must not import ``serving/``.
+* **IMP002** — ``core/`` must not import ``obs/`` (core emits telemetry
+  through the layering-neutral :mod:`repro.instrument` seam instead).
+* **IMP003** — ``kernels/`` must not import ``serving/``.
+
+Both absolute (``import repro.serving.x`` / ``from repro.serving import
+y``) and relative (``from ..serving import y``) spellings are resolved.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.model import (
+    FileContext,
+    Rule,
+    Severity,
+    Violation,
+    layer_of,
+)
+
+__all__ = ["RULES", "check_file", "PACKAGE_NAME"]
+
+IMP001 = Rule(
+    "IMP001", "IMP", Severity.ERROR, "core/ must not import serving/",
+)
+IMP002 = Rule(
+    "IMP002", "IMP", Severity.ERROR,
+    "core/ must not import obs/ (use the repro.instrument seam)",
+)
+IMP003 = Rule(
+    "IMP003", "IMP", Severity.ERROR, "kernels/ must not import serving/",
+)
+
+RULES = (IMP001, IMP002, IMP003)
+
+#: Root package name the scanned tree is assumed to be.
+PACKAGE_NAME = "repro"
+
+#: (source layer, imported layer) -> rule.
+FORBIDDEN_EDGES: dict[tuple[str, str], Rule] = {
+    ("core", "serving"): IMP001,
+    ("core", "obs"): IMP002,
+    ("kernels", "serving"): IMP003,
+}
+
+
+def _imported_modules(
+    ctx: FileContext,
+) -> Iterator[tuple[ast.stmt, str]]:
+    """Yield ``(node, absolute_module)`` for every import in the file."""
+    # Package path of the *containing package* of this module, e.g.
+    # core/fmpq.py -> ("repro", "core"); core/__init__.py -> ("repro", "core").
+    parts = ctx.rel.split("/")
+    package = (PACKAGE_NAME, *parts[:-1])
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                if node.module:
+                    yield node, node.module
+                    # `from repro import obs` names the submodule in the
+                    # alias list, not the module path.
+                    for alias in node.names:
+                        yield node, f"{node.module}.{alias.name}"
+            else:
+                # from .x import y (level=1) resolves against `package`;
+                # each extra dot strips one more segment.
+                base = package[: len(package) - (node.level - 1)]
+                module = ".".join(base)
+                if node.module:
+                    module = f"{module}.{node.module}" if module else node.module
+                if module:
+                    yield node, module
+                # `from . import serving`-style imports name the submodule
+                # in the alias list.
+                for alias in node.names:
+                    yield node, f"{module}.{alias.name}" if module else alias.name
+
+
+def check_file(ctx: FileContext) -> Iterator[Violation]:
+    source_layer = layer_of(ctx.rel)
+    if source_layer not in {edge[0] for edge in FORBIDDEN_EDGES}:
+        return
+    # A `from repro.obs import x` statement names the obs layer through
+    # both its module path and the expanded alias; report it once.
+    seen: set[tuple[int, str]] = set()
+    for node, module in _imported_modules(ctx):
+        segments = module.split(".")
+        if segments[0] != PACKAGE_NAME or len(segments) < 2:
+            continue
+        rule = FORBIDDEN_EDGES.get((source_layer, segments[1]))
+        if rule is None or (node.lineno, rule.id) in seen:
+            continue
+        seen.add((node.lineno, rule.id))
+        yield ctx.violation(
+                rule, node,
+                f"{source_layer}/ imports {module}; the "
+                f"{segments[1]}/ layer sits above it",
+            )

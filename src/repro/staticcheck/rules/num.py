@@ -1,0 +1,130 @@
+"""NUM — numerics invariants for the quantization hot paths.
+
+Scope: ``core/``, ``kernels/``, ``gpu/`` (see
+:data:`repro.staticcheck.model.HOT_PATH_PREFIXES`).  W4Ax numerics break
+via unchecked dtype drift, not logic errors: a stray ``astype(np.float64)``
+or a dtype-less ``np.zeros`` silently runs part of the pipeline at the
+wrong precision and every downstream golden value shifts.
+
+* **NUM001** — ``.astype(...)`` to a widening float target (``np.float64``,
+  ``np.double``, ``np.longdouble``, builtin ``float``, ``"float64"``).
+  Deliberate high-precision accumulators must carry an ignore comment
+  justifying the widening.
+* **NUM002** — ``np.zeros/ones/empty/full`` without an explicit ``dtype``
+  (numpy defaults these to float64 — the classic implicit upcast).
+* **NUM003** — float64 *conversion* of existing data: ``np.float64(x)``
+  scalar casts, or ``dtype=np.float64`` passed to
+  ``np.array/asarray/ascontiguousarray/frombuffer``.  Explicitly allocating
+  a float64 buffer (``np.zeros(n, dtype=np.float64)``) is allowed — the
+  intent is visible; silently *converting* tensors to float64 is not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.model import (
+    FileContext,
+    Rule,
+    Severity,
+    Violation,
+    in_hot_path,
+)
+from repro.staticcheck.rules.util import call_arg, np_attr_name
+
+__all__ = ["RULES", "check_file"]
+
+NUM001 = Rule(
+    "NUM001", "NUM", Severity.ERROR,
+    "no unguarded astype widening to float64 in hot paths",
+)
+NUM002 = Rule(
+    "NUM002", "NUM", Severity.ERROR,
+    "array constructors in hot paths must pass an explicit dtype",
+)
+NUM003 = Rule(
+    "NUM003", "NUM", Severity.ERROR,
+    "no implicit float64 conversion of existing data in hot paths",
+)
+
+RULES = (NUM001, NUM002, NUM003)
+
+#: float64-equivalent widening targets for NUM001/NUM003.
+_WIDE_NP_ATTRS = {"float64", "double", "longdouble", "float128"}
+_WIDE_STRINGS = {"float64", "double", "longdouble", "float128"}
+
+#: constructor -> positional index of its ``dtype`` parameter.
+_DTYPE_DEFAULTING = {"zeros": 1, "ones": 1, "empty": 1, "full": 2}
+
+#: conversion constructors whose ``dtype=`` must not widen (NUM003).
+#: ``np.array`` is deliberately absent: it conventionally builds arrays
+#: from Python scalars (where float64 is the only faithful dtype), while
+#: ``asarray``/``ascontiguousarray`` convert existing tensors.
+_CONVERTERS = {"asarray": 1, "ascontiguousarray": 1, "frombuffer": 1}
+
+
+def _is_widening_target(node: ast.AST | None) -> bool:
+    if node is None:
+        return False
+    np_name = np_attr_name(node)
+    if np_name in _WIDE_NP_ATTRS:
+        return True
+    if isinstance(node, ast.Name) and node.id == "float":
+        return True
+    if isinstance(node, ast.Constant) and node.value in _WIDE_STRINGS:
+        return True
+    return False
+
+
+def check_file(ctx: FileContext) -> Iterator[Violation]:
+    if not in_hot_path(ctx.rel):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        fn = node.func
+
+        # NUM001: x.astype(<wide float>)
+        if isinstance(fn, ast.Attribute) and fn.attr == "astype":
+            target = call_arg(node, 0, "dtype")
+            if _is_widening_target(target):
+                yield ctx.violation(
+                    NUM001, node,
+                    "astype widens to float64; keep hot-path tensors at "
+                    "their declared precision or justify with an ignore "
+                    "comment",
+                )
+            continue
+
+        np_name = np_attr_name(fn)
+        if np_name is None:
+            continue
+
+        # NUM002: np.zeros(...) et al. without an explicit dtype.
+        if np_name in _DTYPE_DEFAULTING:
+            if call_arg(node, _DTYPE_DEFAULTING[np_name], "dtype") is None:
+                yield ctx.violation(
+                    NUM002, node,
+                    f"np.{np_name} without dtype allocates float64 by "
+                    "default; pass the intended dtype explicitly",
+                )
+
+        # NUM003: scalar casts np.float64(x) ...
+        elif np_name in _WIDE_NP_ATTRS:
+            yield ctx.violation(
+                NUM003, node,
+                f"np.{np_name}(...) converts to float64; hot-path values "
+                "must keep their declared precision",
+            )
+
+        # ... and widening dtype= on conversion constructors.
+        elif np_name in _CONVERTERS:
+            target = call_arg(node, _CONVERTERS[np_name], "dtype")
+            if _is_widening_target(target):
+                yield ctx.violation(
+                    NUM003, node,
+                    f"np.{np_name} converts existing data to float64; "
+                    "keep the source dtype or justify with an ignore "
+                    "comment",
+                )

@@ -1,0 +1,158 @@
+"""OBS — observability contracts between code and the metric catalog.
+
+``obs/catalog.py`` (``METRIC_CATALOG``) is the single source of truth for
+metric semantics: every metric a module emits must be declared there, and
+every declaration must correspond to a real emission site — otherwise
+dashboards chase phantom names and new metrics ship undocumented.  These
+are *project-wide* rules: they run over the whole scanned tree at once.
+
+* **OBS001** — a literal metric name passed to ``.counter(...)`` /
+  ``.gauge(...)`` / ``.histogram(...)`` is not declared in the catalog.
+* **OBS002** — a catalog entry whose name never appears as a string
+  literal anywhere else in the tree (orphan declaration).
+* **OBS003** — an emission site whose instrument kind disagrees with the
+  catalog's declared kind for that name.
+
+Call sites that pass a non-literal name (helper indirections) are skipped;
+the string literal the helper is *called with* still marks the name as
+used for OBS002.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.staticcheck.model import FileContext, Rule, Severity, Violation
+from repro.staticcheck.rules.util import const_str
+
+__all__ = ["RULES", "MetricCatalog", "parse_catalog", "check_project"]
+
+OBS001 = Rule(
+    "OBS001", "OBS", Severity.ERROR,
+    "emitted metric names must be declared in obs/catalog.py",
+)
+OBS002 = Rule(
+    "OBS002", "OBS", Severity.ERROR,
+    "catalog entries must have at least one emission/usage site",
+)
+OBS003 = Rule(
+    "OBS003", "OBS", Severity.ERROR,
+    "instrument kind must match the catalog's declared kind",
+)
+
+RULES = (OBS001, OBS002, OBS003)
+
+#: Instrument accessor method names, as they appear at call sites.
+_INSTRUMENT_METHODS = {"counter", "gauge", "histogram"}
+
+#: Relative path of the catalog module inside the scanned tree.
+CATALOG_REL = "obs/catalog.py"
+
+
+@dataclass
+class MetricCatalog:
+    """Parsed ``METRIC_CATALOG``: name -> (kind, declaration line)."""
+
+    rel: str
+    entries: dict[str, tuple[str, int]] = field(default_factory=dict)
+
+
+def parse_catalog(ctx: FileContext) -> MetricCatalog | None:
+    """Statically extract METRIC_CATALOG from the catalog module's AST."""
+    for node in ast.walk(ctx.tree):
+        target = None
+        if isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            target, value = node.target.id, node.value
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1 and (
+            isinstance(node.targets[0], ast.Name)
+        ):
+            target, value = node.targets[0].id, node.value
+        if target != "METRIC_CATALOG" or not isinstance(value, ast.Dict):
+            continue
+        catalog = MetricCatalog(rel=ctx.rel)
+        for key, val in zip(value.keys, value.values):
+            name = const_str(key)
+            if name is None:
+                continue
+            kind = ""
+            if isinstance(val, ast.Tuple) and val.elts:
+                kind = const_str(val.elts[0]) or ""
+            catalog.entries[name] = (kind, key.lineno)
+        return catalog
+    return None
+
+
+def _emission_sites(
+    ctx: FileContext,
+) -> Iterator[tuple[ast.Call, str, str]]:
+    """Yield ``(call, method, literal_name)`` for instrument accessor calls."""
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        fn = node.func
+        if not (
+            isinstance(fn, ast.Attribute)
+            and fn.attr in _INSTRUMENT_METHODS
+            and node.args
+        ):
+            continue
+        name = const_str(node.args[0])
+        # Only namespaced literal names are metric emissions; helper
+        # indirections passing variables are checked at their call sites.
+        if name is not None and "." in name:
+            yield node, fn.attr, name
+
+
+def check_project(
+    contexts: list[FileContext], catalog: MetricCatalog | None
+) -> Iterator[Violation]:
+    if catalog is None:
+        return
+
+    used: set[str] = set()
+    catalog_ctx: FileContext | None = None
+    for ctx in contexts:
+        if ctx.rel == catalog.rel:
+            catalog_ctx = ctx
+            continue
+        # Any literal occurrence of a catalogued name counts as usage —
+        # this also credits names routed through helper wrappers.
+        for node in ast.walk(ctx.tree):
+            value = const_str(node)
+            if value is not None and value in catalog.entries:
+                used.add(value)
+
+        for call, method, name in _emission_sites(ctx):
+            declared = catalog.entries.get(name)
+            if declared is None:
+                yield ctx.violation(
+                    OBS001, call,
+                    f"metric {name!r} is emitted here but not declared in "
+                    f"{catalog.rel}; add it to METRIC_CATALOG",
+                )
+            elif declared[0] and declared[0] != method:
+                yield ctx.violation(
+                    OBS003, call,
+                    f"metric {name!r} emitted as {method} but declared as "
+                    f"{declared[0]} in {catalog.rel}",
+                )
+
+    if catalog_ctx is not None:
+        for name, (kind, line) in sorted(catalog.entries.items()):
+            if name not in used:
+                viol = Violation(
+                    rule=OBS002,
+                    rel=catalog.rel,
+                    line=line,
+                    col=0,
+                    message=(
+                        f"catalog entry {name!r} ({kind}) has no emission "
+                        "or usage site anywhere in the tree"
+                    ),
+                    line_text=catalog_ctx.line_text(line),
+                )
+                yield viol

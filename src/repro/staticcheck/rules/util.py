@@ -1,0 +1,48 @@
+"""Small AST helpers shared by the rule families."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["np_attr_name", "call_kwarg", "call_arg", "const_str"]
+
+#: Names the numpy module is conventionally bound to.
+NUMPY_ALIASES = ("np", "numpy")
+
+
+def np_attr_name(node: ast.AST) -> str | None:
+    """Dotted name of a numpy attribute chain, without the module alias.
+
+    ``np.float64`` -> ``"float64"``; ``np.random.rand`` -> ``"random.rand"``;
+    anything not rooted at a numpy alias -> ``None``.
+    """
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name) and cur.id in NUMPY_ALIASES and parts:
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_kwarg(call: ast.Call, name: str) -> ast.expr | None:
+    """The keyword argument ``name`` of ``call``, if present."""
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def call_arg(call: ast.Call, index: int, name: str) -> ast.expr | None:
+    """Positional argument ``index`` or keyword ``name``, if present."""
+    if len(call.args) > index:
+        return call.args[index]
+    return call_kwarg(call, name)
+
+
+def const_str(node: ast.AST | None) -> str | None:
+    """The value of a string-literal node, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None

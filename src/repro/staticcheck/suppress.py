@@ -1,0 +1,72 @@
+"""Parsing of ``# staticcheck: ignore`` suppression comments.
+
+Two forms are recognised (see ``docs/staticcheck.md``):
+
+* line-level — suppresses matching rules *on that physical line*::
+
+      x = np.asarray(x, dtype=np.float64)  # staticcheck: ignore[NUM003]
+
+* file-level — anywhere in the file, suppresses for the whole file::
+
+      # staticcheck: ignore-file[NUM] -- exact float64 accumulation
+
+  (conventionally placed right below the module docstring).
+
+The bracket list is comma-separated rule IDs (``NUM003``) or bare family
+prefixes (``NUM``); omitting the brackets entirely (``# staticcheck:
+ignore``) suppresses every rule.  Text after ``--`` is a justification and
+is ignored by the parser but encouraged by the style guide.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+from repro.staticcheck.model import Suppressions
+
+__all__ = ["parse_suppressions"]
+
+_PATTERN = re.compile(
+    r"#\s*staticcheck:\s*(?P<kind>ignore-file|ignore)"
+    r"(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?"
+)
+
+
+def _tokens(spec: str | None) -> set[str]:
+    if spec is None:
+        return set()
+    return {tok.strip().upper() for tok in spec.split(",") if tok.strip()}
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract the suppression table from one file's source text.
+
+    Uses :mod:`tokenize` so suppression markers inside string literals are
+    not mistaken for comments.
+    """
+    sup = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return sup
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        m = _PATTERN.search(tok.string)
+        if not m:
+            continue
+        rules = _tokens(m.group("rules"))
+        if m.group("kind") == "ignore-file":
+            if rules:
+                sup.file_rules |= rules
+            else:
+                sup.file_all = True
+        else:
+            line = tok.start[0]
+            if rules:
+                sup.line_rules.setdefault(line, set()).update(rules)
+            else:
+                sup.line_all.add(line)
+    return sup

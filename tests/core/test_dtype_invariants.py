@@ -1,0 +1,115 @@
+"""Dtype regression tests pinning the invariants staticcheck's NUM rules
+guard: the quantized pipeline stays in float32 / narrow integer dtypes
+even when callers hand it float64 parameters."""
+
+import numpy as np
+import pytest
+
+from repro.core.intquant import (
+    INT4,
+    asymmetric_scale_zero,
+    dequantize_asymmetric,
+    dequantize_symmetric,
+    pack_int4,
+    pack_int4_words,
+    quantize_asymmetric,
+    quantize_symmetric,
+    symmetric_scale,
+    unpack_int4,
+    unpack_int4_words,
+)
+from repro.core.kvquant import KVQuantConfig, QuantizedKVCache
+from repro.kernels.conversion import fast_int4to8, pack_int4_words_swapped
+
+RNG = np.random.default_rng(20260806)
+
+
+class TestQuantDtypes:
+    def test_quantize_symmetric_int8(self):
+        x = RNG.standard_normal((4, 8)).astype(np.float32)
+        scale = symmetric_scale(x, INT4, axis=None)
+        assert quantize_symmetric(x, scale, INT4).dtype == np.int8
+
+    def test_quantize_asymmetric_int16(self):
+        x = RNG.standard_normal((4, 8)).astype(np.float32)
+        scale, zero = asymmetric_scale_zero(x, INT4, axis=None)
+        assert quantize_asymmetric(x, scale, zero, INT4).dtype == np.int16
+
+    @pytest.mark.parametrize("param_dtype", [np.float32, np.float64])
+    def test_dequantize_symmetric_always_float32(self, param_dtype):
+        q = RNG.integers(-8, 8, size=(4, 8)).astype(np.int8)
+        scale = np.asarray(0.125, dtype=param_dtype)
+        assert dequantize_symmetric(q, scale).dtype == np.float32
+
+    @pytest.mark.parametrize("param_dtype", [np.float32, np.float64])
+    def test_dequantize_asymmetric_always_float32(self, param_dtype):
+        # Regression: a float64 zero point used to upcast the whole
+        # dequantized tensor to float64.
+        q = RNG.integers(0, 16, size=(4, 8)).astype(np.int16)
+        scale = np.asarray(0.125, dtype=param_dtype)
+        zero = np.asarray(7.0, dtype=param_dtype)
+        out = dequantize_asymmetric(q, scale, zero)
+        assert out.dtype == np.float32
+
+    def test_dequantize_roundtrip_values_unchanged_by_param_dtype(self):
+        q = RNG.integers(0, 16, size=(64,)).astype(np.int16)
+        s32, z32 = np.float32(0.17), np.float32(6.0)
+        out32 = dequantize_asymmetric(q, s32, z32)
+        out64 = dequantize_asymmetric(
+            q, np.float64(s32), np.float64(z32)
+        )
+        np.testing.assert_array_equal(out32, out64)
+
+
+class TestPackingDtypes:
+    @pytest.mark.parametrize("shape", [(8,), (3, 8), (2, 3, 8)])
+    def test_pack_unpack_int4(self, shape):
+        codes = RNG.integers(-8, 8, size=shape).astype(np.int8)
+        packed = pack_int4(codes)
+        assert packed.dtype == np.uint8
+        assert packed.shape == (*shape[:-1], shape[-1] // 2)
+        out = unpack_int4(packed)
+        assert out.dtype == np.int8
+        np.testing.assert_array_equal(out, codes)
+
+    @pytest.mark.parametrize("shape", [(8,), (3, 8), (2, 3, 8)])
+    def test_pack_unpack_int4_words(self, shape):
+        codes = RNG.integers(-8, 8, size=shape).astype(np.int8)
+        words = pack_int4_words(codes)
+        assert words.dtype == np.uint16
+        assert words.shape == (*shape[:-1], shape[-1] // 4)
+        out = unpack_int4_words(words)
+        assert out.dtype == np.int8
+        np.testing.assert_array_equal(out, codes)
+
+    def test_pack_accepts_wider_input_dtypes(self):
+        codes = RNG.integers(-8, 8, size=(16,))  # int64 from default_rng
+        assert pack_int4(codes).dtype == np.uint8
+        assert pack_int4_words(codes).dtype == np.uint16
+
+    def test_fast_int4to8_int8(self):
+        codes = RNG.integers(-8, 8, size=(2, 16)).astype(np.int8)
+        out = fast_int4to8(pack_int4_words_swapped(codes))
+        assert out.dtype == np.int8
+        np.testing.assert_array_equal(out, codes.astype(np.int16) * 16)
+
+
+class TestKVCacheDtypes:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            KVQuantConfig(group_size=4),
+            KVQuantConfig(granularity="per_token"),
+            KVQuantConfig(enabled=False),
+        ],
+        ids=["per_channel", "per_token", "passthrough"],
+    )
+    def test_dequantized_float32_even_from_float64_input(self, config):
+        cache = QuantizedKVCache(config)
+        # Feed float64 tokens: the cache must narrow at the boundary.
+        cache.extend(RNG.standard_normal((6, 2, 4)))
+        cache.append(RNG.standard_normal((2, 4)))
+        out = cache.dequantized()
+        assert out.dtype == np.float32
+        assert out.shape == (7, 2, 4)
+        assert cache.dequantized_uncached().dtype == np.float32

@@ -1,0 +1,21 @@
+"""Fixture: a fully conformant hot-path module."""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import instrument
+
+
+@dataclass
+class GoodConfig:
+    bits: int = 4
+    seed: "int | None" = None
+
+
+def quantize(x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    noise = rng.standard_normal(x.shape).astype(np.float32)
+    scale = np.zeros(x.shape[-1], dtype=np.float32)
+    if instrument.enabled():
+        instrument.metrics().counter("demo.layers_total", "help").inc()
+    return (x + noise) * (scale + 1.0)

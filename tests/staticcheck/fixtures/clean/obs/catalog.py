@@ -1,0 +1,6 @@
+"""Fixture: a catalog whose every entry has a usage site."""
+
+METRIC_CATALOG: dict[str, tuple[str, str]] = {
+    "demo.layers_total": ("counter", "Layers processed."),
+    "demo.latency_seconds": ("histogram", "Observed latency."),
+}

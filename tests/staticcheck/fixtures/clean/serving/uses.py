@@ -1,0 +1,5 @@
+"""Fixture: conformant emission sites for the clean catalog."""
+
+
+def emit(metrics: object, seconds: float) -> None:
+    metrics.histogram("demo.latency_seconds", "help").observe(seconds)

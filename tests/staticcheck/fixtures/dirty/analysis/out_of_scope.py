@@ -1,0 +1,9 @@
+"""Fixture: NUM/DET/API content outside their scoped directories — all
+of this is legal here (analysis/ is not a hot path)."""
+
+import numpy as np
+
+
+def widen(x, extra):  # no API001: analysis/ is out of API scope
+    buf = np.zeros(8)  # no NUM002
+    return np.asarray(x, dtype=np.float64) + np.random.rand() + buf[0] + extra

@@ -1,0 +1,43 @@
+"""Fixture: API violations in a public-surface module (core/)."""
+
+from dataclasses import dataclass
+
+
+def unannotated(x, y):  # API001 (x, y, return)
+    return x + y
+
+
+def half_annotated(x: int, y) -> int:  # API001 (y)
+    return x + y
+
+
+def annotated(x: int, y: int) -> int:  # clean
+    return x + y
+
+
+def _private(x, y):  # clean: private functions are exempt
+    return x + y
+
+
+def outer() -> None:  # clean
+    def nested(a, b):  # clean: nested defs are exempt
+        return a + b
+
+    nested(1, 2)
+
+
+class _PrivateHelper:
+    def method(self, x):  # clean: private-class methods are exempt
+        return x
+
+
+class PublicThing:
+    def method(self, x):  # API001 (x, return)
+        return x
+
+
+@dataclass
+class Config:
+    limit: int = None  # API002: None default, non-optional annotation
+    name: "str | None" = None  # clean: optional annotation
+    size: int = 4  # clean

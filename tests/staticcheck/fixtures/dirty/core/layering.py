@@ -1,0 +1,8 @@
+"""Fixture: IMP violations — core/ importing upper layers."""
+
+import repro.serving.engine  # IMP001
+from repro import obs  # IMP002
+from repro.obs.registry import MetricsRegistry  # IMP002
+from repro import instrument  # clean: the sanctioned seam
+
+__all__ = ["repro", "obs", "MetricsRegistry", "instrument"]

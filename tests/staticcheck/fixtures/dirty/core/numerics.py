@@ -1,0 +1,43 @@
+"""Fixture: NUM violations in a hot-path module (core/)."""
+
+import numpy as np
+
+
+def widen(x: np.ndarray) -> np.ndarray:
+    return x.astype(np.float64)  # NUM001
+
+
+def widen_str(x: np.ndarray) -> np.ndarray:
+    return x.astype("float64")  # NUM001
+
+
+def widen_builtin(x: np.ndarray) -> np.ndarray:
+    return x.astype(float)  # NUM001
+
+
+def alloc() -> np.ndarray:
+    return np.zeros(8)  # NUM002
+
+
+def alloc_full() -> np.ndarray:
+    return np.full((2, 2), 1.5)  # NUM002
+
+
+def alloc_ok() -> np.ndarray:
+    return np.zeros(8, dtype=np.float32)  # clean: explicit dtype
+
+
+def alloc_f64_ok() -> np.ndarray:
+    return np.empty(4, dtype=np.float64)  # clean: explicit allocation
+
+
+def scalar_cast(x: float) -> float:
+    return np.float64(x)  # NUM003
+
+
+def convert(x: np.ndarray) -> np.ndarray:
+    return np.asarray(x, dtype=np.float64)  # NUM003
+
+
+def convert_suppressed(x: np.ndarray) -> np.ndarray:
+    return np.asarray(x, dtype=np.float64)  # staticcheck: ignore[NUM003]

@@ -1,0 +1,30 @@
+"""Fixture: DET violations in a deterministic-scope module (core/)."""
+
+import random  # DET002
+import time
+
+import numpy as np
+
+
+def draw() -> float:
+    return np.random.rand()  # DET001
+
+
+def reseed() -> None:
+    np.random.seed(0)  # DET001
+
+
+def draw_ok(rng: np.random.Generator) -> float:
+    return float(rng.random())  # clean: seeded Generator threading
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)  # clean: sanctioned constructor
+
+
+def now() -> float:
+    return time.time()  # DET003
+
+
+def stdlib_draw() -> float:
+    return random.random()

@@ -1,0 +1,6 @@
+"""Fixture: IMP003 — kernels/ importing serving/ (relative spelling)."""
+
+from ..serving import engine  # IMP003
+from .. import obs  # clean: kernels may import obs
+
+__all__ = ["engine", "obs"]

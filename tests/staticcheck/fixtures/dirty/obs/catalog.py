@@ -1,0 +1,8 @@
+"""Fixture: mini metric catalog with an orphan declaration."""
+
+METRIC_CATALOG: dict[str, tuple[str, str]] = {
+    "demo.used_total": ("counter", "A counter that is emitted."),
+    "demo.kind_mismatch": ("gauge", "Declared gauge, emitted as counter."),
+    "demo.orphan_total": ("counter", "Never emitted anywhere."),  # OBS002
+    "demo.helper_routed_total": ("counter", "Used via a helper wrapper."),
+}

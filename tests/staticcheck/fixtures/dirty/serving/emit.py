@@ -1,0 +1,9 @@
+"""Fixture: OBS emission-site violations."""
+
+
+def record(metrics, helper) -> None:
+    metrics.counter("demo.used_total", "help").inc()  # clean
+    metrics.counter("demo.undeclared_total", "help").inc()  # OBS001
+    metrics.counter("demo.kind_mismatch", "help").inc()  # OBS003
+    helper("demo.helper_routed_total")  # literal usage credits OBS002
+    metrics.counter(helper, "non-literal names are skipped")

@@ -1,0 +1,12 @@
+"""Fixture: DET scope includes serving/faults.py specifically."""
+
+import numpy as np
+
+
+def unseeded_fault() -> float:
+    return np.random.random()  # DET001
+
+
+def seeded_fault(seed: int) -> float:
+    rng = np.random.default_rng(seed)  # clean
+    return float(rng.random())

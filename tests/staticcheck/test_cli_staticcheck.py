@@ -1,0 +1,77 @@
+"""CLI behaviour: exit codes, JSON output, baseline flags."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_dirty_fixture_fails(capsys):
+    # The CI self-test: an injected violation must flip the exit code.
+    assert main(["staticcheck", str(FIXTURES / "dirty")]) == 1
+    out = capsys.readouterr().out
+    assert "NUM001" in out
+
+
+def test_clean_fixture_passes(capsys):
+    assert main(["staticcheck", str(FIXTURES / "clean")]) == 0
+    assert "0 violation(s)" in capsys.readouterr().out
+
+
+def test_json_output_to_file(tmp_path, capsys):
+    report = tmp_path / "out" / "report.json"
+    code = main([
+        "staticcheck", str(FIXTURES / "dirty"),
+        "--format", "json", "--output", str(report),
+    ])
+    assert code == 1
+    doc = json.loads(report.read_text())
+    assert doc["exit_code"] == 1
+    assert doc["summary"]["reported"] > 0
+
+
+def test_select_family(capsys):
+    assert main([
+        "staticcheck", str(FIXTURES / "dirty"), "--select", "IMP",
+    ]) == 1
+    out = capsys.readouterr().out
+    assert "IMP001" in out and "NUM001" not in out
+
+
+def test_missing_explicit_baseline_is_usage_error(tmp_path, capsys):
+    assert main([
+        "staticcheck", str(FIXTURES / "clean"),
+        "--baseline", str(tmp_path / "nope.json"),
+    ]) == 2
+
+
+def test_write_baseline_then_clean(tmp_path, capsys):
+    src = tmp_path / "core"
+    src.mkdir(parents=True)
+    (src / "x.py").write_text("import numpy as np\na = np.zeros(4)\n")
+    baseline = tmp_path / "staticcheck-baseline.json"
+
+    assert main([
+        "staticcheck", str(tmp_path),
+        "--baseline", str(baseline), "--write-baseline",
+    ]) == 0
+    assert baseline.is_file()
+    assert main([
+        "staticcheck", str(tmp_path), "--baseline", str(baseline),
+    ]) == 0
+    # --no-baseline reports the grandfathered violation again.
+    assert main(["staticcheck", str(tmp_path), "--no-baseline"]) == 1
+
+
+@pytest.mark.parametrize("fmt", ["text", "json"])
+def test_stdout_formats(fmt, capsys):
+    main(["staticcheck", str(FIXTURES / "clean"), "--format", fmt])
+    out = capsys.readouterr().out
+    if fmt == "json":
+        assert json.loads(out)["exit_code"] == 0
+    else:
+        assert out.strip().startswith("staticcheck:")

@@ -1,0 +1,107 @@
+"""Meta-test: the checker gates the real package, not just fixtures.
+
+This is the same check CI runs — ``src/repro`` must produce zero
+non-baselined violations against the committed baseline, and the
+observability catalog must be bidirectionally consistent with usage.
+"""
+
+from pathlib import Path
+
+from repro.staticcheck import (
+    discover_baseline,
+    load_baseline,
+    resolve_root,
+    run_check,
+)
+from repro.staticcheck.rules.obs import CATALOG_REL, parse_catalog
+
+import repro
+
+SRC_REPRO = Path(repro.__file__).parent
+REPO_ROOT = SRC_REPRO.parent.parent
+
+
+def _checked() -> tuple:
+    baseline_path = discover_baseline(SRC_REPRO)
+    assert baseline_path is not None, (
+        "committed staticcheck-baseline.json not found above src/repro"
+    )
+    return run_check(SRC_REPRO, baseline=load_baseline(baseline_path)), (
+        baseline_path
+    )
+
+
+def test_src_has_zero_nonbaselined_violations():
+    result, _ = _checked()
+    assert result.reported == [], "\n".join(
+        f"{v.rel}:{v.line}: {v.rule.id} {v.message}" for v in result.reported
+    )
+    assert result.parse_errors == []
+    assert result.exit_code == 0
+
+
+def test_baseline_is_not_stale():
+    # Every committed baseline entry must still match a live violation;
+    # stale entries mean the debt was paid and should be deleted.
+    result, baseline_path = _checked()
+    live = {
+        (v.rule.id, v.rel, v.line_text.strip())
+        for v in result.by_status("baselined")
+    }
+    committed = load_baseline(baseline_path).keys
+    assert committed == live, (
+        f"stale baseline entries: {sorted(committed - live)}"
+    )
+
+
+def test_obs_catalog_bidirectional():
+    # Direction 1 (OBS001): every emitted literal metric name is declared.
+    # Direction 2 (OBS002): every declared metric name is used somewhere.
+    # Both directions clean on src/ means catalog <-> usage agree exactly.
+    result, _ = _checked()
+    obs_hits = [v for v in result.violations if v.rule.family == "OBS"]
+    assert obs_hits == []
+
+    # And the catalog itself is non-trivial — the rule is exercised.
+    contexts = {}
+    root = resolve_root(SRC_REPRO)
+    catalog_path = root / CATALOG_REL
+
+    import ast
+
+    source = catalog_path.read_text()
+    from repro.staticcheck.model import FileContext
+    from repro.staticcheck.suppress import parse_suppressions
+
+    ctx = FileContext(
+        path=catalog_path,
+        rel=CATALOG_REL,
+        tree=ast.parse(source),
+        lines=source.splitlines(),
+        suppressions=parse_suppressions(source),
+    )
+    contexts[CATALOG_REL] = ctx
+    catalog = parse_catalog(ctx)
+    assert catalog is not None
+    assert len(catalog.entries) >= 10, (
+        "METRIC_CATALOG should declare the full metric surface"
+    )
+
+
+def test_checker_is_pure_static():
+    # The checker must never import the code it scans: scanning a tree
+    # whose modules would explode on import has to work.
+    import sys
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        pkg = Path(tmp) / "core"
+        pkg.mkdir()
+        (pkg / "bomb.py").write_text(
+            'raise RuntimeError("imported!")\nimport numpy as np\n'
+            "a = np.zeros(3)\n"
+        )
+        before = set(sys.modules)
+        result = run_check(Path(tmp))
+        assert [v.rule.id for v in result.violations] == ["NUM002"]
+        assert "bomb" not in set(sys.modules) - before

@@ -1,0 +1,60 @@
+"""Report formats: the pinned JSON schema and the text rendering."""
+
+import json
+from pathlib import Path
+
+from repro.staticcheck import format_json, format_text, run_check
+from repro.staticcheck.report import SCHEMA_VERSION
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+VIOLATION_KEYS = {
+    "rule", "family", "severity", "path", "line", "col",
+    "message", "line_text", "status",
+}
+
+
+def test_json_schema():
+    result = run_check(FIXTURES / "dirty")
+    doc = json.loads(format_json(result))
+
+    assert doc["schema_version"] == SCHEMA_VERSION
+    assert doc["tool"] == "repro.staticcheck"
+    assert doc["exit_code"] == 1
+    assert set(doc["summary"]) == {
+        "reported", "suppressed", "baselined", "parse_errors",
+        "files_scanned", "by_rule",
+    }
+    assert doc["summary"]["files_scanned"] == result.files_scanned
+    assert doc["violations"], "dirty fixtures must produce violations"
+    for v in doc["violations"]:
+        assert set(v) == VIOLATION_KEYS
+        assert v["severity"] in ("error", "warning")
+        assert v["status"] in ("reported", "suppressed", "baselined")
+        assert isinstance(v["line"], int) and v["line"] >= 1
+    # by_rule counts only reported violations and sums to the total.
+    assert sum(doc["summary"]["by_rule"].values()) == (
+        doc["summary"]["reported"]
+    )
+
+
+def test_json_round_trips_every_family():
+    doc = json.loads(format_json(run_check(FIXTURES / "dirty")))
+    families = {v["family"] for v in doc["violations"]}
+    assert families == {"NUM", "DET", "OBS", "API", "IMP"}
+
+
+def test_text_format():
+    result = run_check(FIXTURES / "dirty")
+    text = format_text(result)
+    lines = text.splitlines()
+    assert lines[-1].startswith("staticcheck:")
+    # One line per reported violation plus the summary footer.
+    assert len(lines) == len(result.reported) + 1
+    assert any(":NUM001 " in ln or " NUM001 " in ln for ln in lines)
+
+
+def test_text_verbose_lists_suppressed():
+    result = run_check(FIXTURES / "dirty")
+    verbose = format_text(result, verbose=True)
+    assert "[suppressed]" in verbose

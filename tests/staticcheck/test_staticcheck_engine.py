@@ -1,0 +1,182 @@
+"""Engine behaviour: suppressions, baseline round-trip, select, errors."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import (
+    Baseline,
+    load_baseline,
+    resolve_root,
+    run_check,
+    write_baseline,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _write(tmp_path: Path, rel: str, source: str) -> Path:
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+class TestSuppressions:
+    def test_line_level_rule_id(self, tmp_path):
+        _write(
+            tmp_path, "core/x.py",
+            "import numpy as np\n"
+            "a = np.zeros(4)  # staticcheck: ignore[NUM002]\n"
+            "b = np.zeros(4)\n",
+        )
+        result = run_check(tmp_path)
+        by_status = {v.line: v.status for v in result.violations}
+        assert by_status == {2: "suppressed", 3: "reported"}
+
+    def test_line_level_family_prefix(self, tmp_path):
+        _write(
+            tmp_path, "core/x.py",
+            "import numpy as np\n"
+            "a = np.zeros(4)  # staticcheck: ignore[NUM]\n",
+        )
+        assert run_check(tmp_path).reported == []
+
+    def test_bare_ignore_suppresses_everything(self, tmp_path):
+        _write(
+            tmp_path, "core/x.py",
+            "import numpy as np\n"
+            "a = np.zeros(4)  # staticcheck: ignore\n",
+        )
+        assert run_check(tmp_path).reported == []
+
+    def test_wrong_rule_does_not_suppress(self, tmp_path):
+        _write(
+            tmp_path, "core/x.py",
+            "import numpy as np\n"
+            "a = np.zeros(4)  # staticcheck: ignore[DET001]\n",
+        )
+        assert len(run_check(tmp_path).reported) == 1
+
+    def test_file_level(self, tmp_path):
+        _write(
+            tmp_path, "core/x.py",
+            "# staticcheck: ignore-file[NUM] -- test justification\n"
+            "import numpy as np\n"
+            "a = np.zeros(4)\n"
+            "b = a.astype(np.float64)\n",
+        )
+        result = run_check(tmp_path)
+        assert result.reported == []
+        assert len(result.by_status("suppressed")) == 2
+
+    def test_marker_inside_string_is_not_a_suppression(self, tmp_path):
+        _write(
+            tmp_path, "core/x.py",
+            "import numpy as np\n"
+            's = "# staticcheck: ignore-file[NUM]"\n'
+            "a = np.zeros(4)\n",
+        )
+        assert len(run_check(tmp_path).reported) == 1
+
+    def test_suppressed_still_listed_with_status(self, tmp_path):
+        _write(
+            tmp_path, "core/x.py",
+            "import numpy as np\n"
+            "a = np.zeros(4)  # staticcheck: ignore[NUM002]\n",
+        )
+        result = run_check(tmp_path)
+        assert [v.status for v in result.violations] == ["suppressed"]
+        assert result.exit_code == 0
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        _write(
+            tmp_path, "core/x.py",
+            "import numpy as np\na = np.zeros(4)\n",
+        )
+        first = run_check(tmp_path)
+        assert first.exit_code == 1
+
+        baseline_path = tmp_path / "staticcheck-baseline.json"
+        count = write_baseline(baseline_path, first.reported)
+        assert count == 1
+
+        second = run_check(tmp_path, baseline=load_baseline(baseline_path))
+        assert second.exit_code == 0
+        assert [v.status for v in second.violations] == ["baselined"]
+
+    def test_line_drift_does_not_invalidate(self, tmp_path):
+        src = _write(
+            tmp_path, "core/x.py",
+            "import numpy as np\na = np.zeros(4)\n",
+        )
+        baseline_path = tmp_path / "b.json"
+        write_baseline(baseline_path, run_check(tmp_path).reported)
+        # Prepend lines: same text, new line number.
+        src.write_text(
+            "import numpy as np\n\n\n# moved down\na = np.zeros(4)\n"
+        )
+        result = run_check(tmp_path, baseline=load_baseline(baseline_path))
+        assert result.exit_code == 0
+
+    def test_edited_line_goes_stale(self, tmp_path):
+        src = _write(
+            tmp_path, "core/x.py",
+            "import numpy as np\na = np.zeros(4)\n",
+        )
+        baseline_path = tmp_path / "b.json"
+        write_baseline(baseline_path, run_check(tmp_path).reported)
+        src.write_text("import numpy as np\na = np.zeros(8)\n")
+        result = run_check(tmp_path, baseline=load_baseline(baseline_path))
+        assert result.exit_code == 1
+
+    def test_bad_schema_rejected(self, tmp_path):
+        bad = tmp_path / "b.json"
+        bad.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+
+    def test_empty_baseline_covers_nothing(self, tmp_path):
+        _write(tmp_path, "core/x.py", "import numpy as np\na = np.zeros(4)\n")
+        result = run_check(tmp_path, baseline=Baseline())
+        assert result.exit_code == 1
+
+
+class TestEngine:
+    def test_select_filters_rules(self, tmp_path):
+        _write(
+            tmp_path, "core/x.py",
+            "import numpy as np\nimport random\na = np.zeros(4)\n",
+        )
+        result = run_check(tmp_path, select={"DET"})
+        assert {v.rule.id for v in result.violations} == {"DET002"}
+
+    def test_parse_error_gates_exit(self, tmp_path):
+        _write(tmp_path, "core/x.py", "def broken(:\n")
+        result = run_check(tmp_path)
+        assert result.parse_errors and result.exit_code == 1
+
+    def test_resolve_root_variants(self):
+        pkg = resolve_root(FIXTURES / "clean")
+        assert pkg == (FIXTURES / "clean").resolve()
+        import repro
+
+        src_repro = Path(repro.__file__).parent
+        assert resolve_root(src_repro.parent) == src_repro
+
+    def test_deterministic_ordering(self, tmp_path):
+        _write(
+            tmp_path, "core/x.py",
+            "import numpy as np\nb = np.zeros(4)\na = np.zeros(4)\n",
+        )
+        _write(
+            tmp_path, "core/a.py",
+            "import numpy as np\nc = np.zeros(4)\n",
+        )
+        keys = [
+            (v.rel, v.line) for v in run_check(tmp_path).violations
+        ]
+        assert keys == sorted(keys)
