@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test staticcheck staticcheck-json staticcheck-baseline lint bench-smoke
+.PHONY: test staticcheck staticcheck-json staticcheck-baseline lint bench-smoke live-obs-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -29,3 +29,7 @@ lint:
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench_hotpath.py --smoke
+
+## HTTP endpoints + SLO monitor + flight recorder over an overload run.
+live-obs-smoke:
+	$(PYTHON) benchmarks/live_obs_smoke.py

@@ -57,6 +57,9 @@ SMOKE_GEMM = dict(blocks=(4, 16, 32), tokens=2, block_size=32,
 # (prompt length, new tokens per point, history lengths reached via prompt)
 FULL_DECODE = dict(prompts=(16, 64, 256), new_tokens=32)
 SMOKE_DECODE = dict(prompts=(8, 32), new_tokens=8)
+# (requests in the simulated serving trace, concurrency cap)
+FULL_SERVING = dict(num_requests=48, max_batch=32)
+SMOKE_SERVING = dict(num_requests=16, max_batch=8)
 
 
 def _timeit(fn, repeats: int) -> float:
@@ -175,6 +178,51 @@ def run_decode_bench(prompts=(16, 64, 256), new_tokens=32):
     return rows
 
 
+# -------------------------------------------------------- simulated serving
+
+
+def run_serving_bench(num_requests=48, max_batch=32):
+    """Simulated serving throughput and latency tails, per system.
+
+    Unlike the wall-clock rows above, these numbers come from the engine's
+    *simulated* clock, so they are bit-deterministic across machines —
+    exactly what a cross-commit trajectory file wants.  Feeds the canonical
+    root-level ``BENCH_serving.json``.
+    """
+    from repro.serving.engine import EngineConfig, ServingEngine
+    from repro.serving.metrics import LatencyReport
+    from repro.serving.systems import build_system
+    from repro.serving.workload import make_poisson_trace
+
+    model = tiny_config(name="serving-bench")
+    rows = []
+    for system_name in ("comet", "trtllm-fp16"):
+        engine = ServingEngine(
+            model,
+            build_system(system_name),
+            config=EngineConfig(max_batch=max_batch),
+        )
+        requests = make_poisson_trace(
+            num_requests, arrival_rate=50.0, mean_prompt_len=64,
+            mean_new_tokens=32, seed=3,
+        )
+        report = engine.run(requests)
+        lat = LatencyReport.from_requests(requests)
+        rows.append(
+            {
+                "system": system_name,
+                "requests": report.requests_completed,
+                "throughput_tok_s": report.throughput,
+                "ttft_p50_ms": lat.ttft_p50 * 1e3,
+                "ttft_p99_ms": lat.ttft_p99 * 1e3,
+                "tpot_p99_ms": lat.tpot_p99 * 1e3,
+                "e2e_p99_s": lat.e2e_p99,
+                "e2e_max_s": lat.e2e_max,
+            }
+        )
+    return rows
+
+
 # ------------------------------------------------------------- harnessing
 
 
@@ -183,11 +231,13 @@ def run_all(smoke: bool = False) -> dict:
     kv_args = SMOKE_KV if smoke else FULL_KV
     gemm_args = SMOKE_GEMM if smoke else FULL_GEMM
     decode_args = SMOKE_DECODE if smoke else FULL_DECODE
+    serving_args = SMOKE_SERVING if smoke else FULL_SERVING
     results = {
         "mode": "smoke" if smoke else "full",
         "kvcache": run_kvcache_bench(**kv_args),
         "gemm": run_gemm_bench(**gemm_args),
         "decode": run_decode_bench(**decode_args),
+        "serving": run_serving_bench(**serving_args),
     }
 
     kv = results["kvcache"]
@@ -233,8 +283,29 @@ def run_all(smoke: bool = False) -> dict:
             ],
         ),
     )
+    serving = results["serving"]
+    emit(
+        "hotpath_serving",
+        format_table(
+            "Hot path — simulated serving throughput and latency tails",
+            ["system", "requests", "tok/s", "TTFT p99 ms", "e2e p99 s"],
+            [
+                [r["system"], r["requests"], r["throughput_tok_s"],
+                 r["ttft_p99_ms"], r["e2e_p99_s"]]
+                for r in serving
+            ],
+            notes=["simulated clock: deterministic across machines."],
+        ),
+    )
     for name in ("kvcache", "gemm", "decode"):
         emit_json(f"hotpath_{name}", {"mode": results["mode"], "rows": results[name]})
+    # Simulated serving numbers are deterministic, so they also feed the
+    # canonical root-level BENCH_serving.json trajectory document.
+    emit_json(
+        "hotpath_serving",
+        {"mode": results["mode"], "rows": serving},
+        trajectory="serving",
+    )
     return results
 
 

@@ -18,6 +18,10 @@ from repro.training.zoo import ZooEntry, load_zoo_model
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
+#: Repository root — canonical ``BENCH_<trajectory>.json`` documents land
+#: here (CI uploads them for trend tracking across commits).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
 _metrics_hooked = False
 
 
@@ -82,17 +86,37 @@ def emit(name: str, text: str) -> None:
     print("\n" + text)
 
 
-def emit_json(name: str, payload: dict) -> Path:
+def emit_json(name: str, payload: dict, trajectory: str | None = None) -> Path:
     """Write a machine-readable result to ``results/{name}.json``.
 
     Companion to :func:`emit` for benchmarks whose numbers feed trend
     tracking (e.g. the CI ``bench-smoke`` artifact): same results
     directory, one JSON document per benchmark.
+
+    When ``trajectory`` is given, the payload is additionally merged into
+    the canonical root-level ``BENCH_<trajectory>.json`` document
+    (``{"trajectory": ..., "benchmarks": {name: payload}}``).  Multiple
+    benchmarks can contribute to one trajectory file; existing entries
+    under other names are preserved, and a corrupt file is rebuilt from
+    scratch rather than crashing the bench.
     """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"[bench] wrote {path}")
+    if trajectory is not None:
+        root_path = REPO_ROOT / f"BENCH_{trajectory}.json"
+        doc: dict = {"trajectory": trajectory, "benchmarks": {}}
+        if root_path.is_file():
+            try:
+                existing = json.loads(root_path.read_text())
+                if isinstance(existing.get("benchmarks"), dict):
+                    doc["benchmarks"] = existing["benchmarks"]
+            except (json.JSONDecodeError, OSError):
+                pass
+        doc["benchmarks"][name] = payload
+        root_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"[bench] wrote {root_path}")
     return path
 
 

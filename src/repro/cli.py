@@ -9,6 +9,8 @@ Subcommands:
 * ``quantize``  — quantize a tiny zoo model and report perplexity impact.
 * ``roofline``  — print the Figure 2 roofline points.
 * ``stats``     — exercise every instrumented layer and dump telemetry.
+* ``top``       — live dashboard over an overload run (windowed rates,
+  SLO burn, flight recorder), optionally serving the HTTP endpoints.
 
 ``kernels``, ``serve``, and ``quantize`` accept ``--emit-metrics PATH`` to
 enable the telemetry subsystem (:mod:`repro.obs`) for the run and write a
@@ -146,6 +148,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"runtime: GEMM {100 * bd['gemm']:.0f}% | "
           f"attention {100 * bd['attention']:.0f}% | "
           f"overhead {100 * bd['overhead']:.0f}%")
+    print(report.summary())
     print(LatencyReport.from_requests(requests).summary())
     _end_metrics(metrics_path)
     return 0
@@ -232,6 +235,88 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(f"FAIL: goodput {report.goodput:.1f} < floor "
               f"{args.goodput_floor:.1f}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard: serve an overload trace with the live-observability
+    layer (:mod:`repro.obs.live`) attached, re-rendering the terminal view
+    every ``--refresh`` heartbeats; ``--http-port`` additionally serves the
+    ``/metrics`` / ``/healthz`` / ``/slo`` / ``/requests`` endpoints while
+    the run progresses."""
+    import repro.obs as obs
+    from repro.obs import live as live_obs
+    from repro.serving.faults import FaultPlan
+    from repro.serving.workload import make_overload_trace
+
+    cfg = get_model_config(args.model)
+    metrics_path = _begin_metrics(args)
+    if not metrics_path:
+        obs.enable()  # the live layer mirrors health into /metrics
+    try:
+        engine = ServingEngine(
+            cfg,
+            build_system(args.system),
+            config=EngineConfig(
+                max_batch=args.batch,
+                hbm_bytes=args.hbm_gb * 1e9,
+                prefill_chunk_tokens=args.chunk or None,
+            ),
+        )
+    except ValueError as exc:
+        print(f"OOM: {exc}", file=sys.stderr)
+        return 1
+    requests = make_overload_trace(
+        args.requests,
+        engine.kv.token_capacity,
+        overload=args.overload,
+        ttft_slo=args.ttft_slo,
+        e2e_slo=args.e2e_slo,
+        seed=args.seed,
+    )
+
+    def render_frame(bundle: "live_obs.LiveObs") -> None:
+        if not args.quiet:
+            print(bundle.render())
+            print()
+
+    live = live_obs.attach(
+        window_seconds=args.window,
+        heartbeat_hook=render_frame,
+        hook_every=args.refresh,
+    )
+    server = None
+    try:
+        if args.http_port is not None:
+            from repro.obs.live.httpd import LiveHTTPServer
+
+            server = LiveHTTPServer(live=live, port=args.http_port)
+            print(f"live endpoints at {server.start()}")
+        plan = None
+        if args.faults:
+            plan = FaultPlan(
+                seed=args.seed,
+                step_fault_rate=0.1,
+                kv_loss_rate=0.02,
+                straggler_rate=0.05,
+                request_abort_rate=0.1,
+            )
+        report = engine.run(requests, faults=plan)
+        print(live.render())
+        print()
+        print(report.summary())
+        slo = live.slo.snapshot(now=live.clock)
+        print(f"SLO final: {slo['state']} (worst {slo['worst_state']}, "
+              f"burn {slo['burn_rate']:.2f}) | "
+              f"flight records {len(live.flights)} "
+              f"({len(live.flights.failures())} failures)")
+        _end_metrics(metrics_path)
+    finally:
+        if server is not None:
+            server.stop()
+        live_obs.detach()
+        if not metrics_path:
+            obs.disable()
     return 0
 
 
@@ -502,6 +587,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the full report as JSON")
     _add_emit_metrics(p)
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "top", help="live dashboard over a simulated overload run"
+    )
+    p.add_argument("--model", default="llama-3-8b")
+    p.add_argument("--system", choices=SYSTEM_NAMES, default="comet")
+    p.add_argument("--requests", type=int, default=60)
+    p.add_argument("--batch", type=int, default=32)
+    p.add_argument("--hbm-gb", type=float, default=20.0,
+                   help="device memory in GB (small = more KV pressure)")
+    p.add_argument("--overload", type=float, default=2.0,
+                   help="offered load as a multiple of KV token capacity")
+    p.add_argument("--chunk", type=int, default=256,
+                   help="prefill chunk tokens (0 = whole-prompt prefill)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--ttft-slo", type=float, default=0.5,
+                   help="per-request TTFT SLO in seconds")
+    p.add_argument("--e2e-slo", type=float, default=None,
+                   help="per-request end-to-end SLO in seconds")
+    p.add_argument("--window", type=float, default=1.0,
+                   help="sliding-window span in simulated seconds")
+    p.add_argument("--refresh", type=int, default=200,
+                   help="re-render the dashboard every N heartbeats")
+    p.add_argument("--faults", action="store_true",
+                   help="inject the default chaos fault plan")
+    p.add_argument("--http-port", type=int, default=None, metavar="PORT",
+                   help="serve /metrics /healthz /slo /requests on this "
+                        "port while the run progresses (0 = ephemeral)")
+    p.add_argument("--quiet", action="store_true",
+                   help="print only the final dashboard frame")
+    _add_emit_metrics(p)
+    p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser("quantize", help="quantize a tiny zoo model")
     p.add_argument("--zoo-model", default="tiny-llama-1")

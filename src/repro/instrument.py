@@ -32,6 +32,7 @@ __all__ = [
     "enabled",
     "metrics",
     "span",
+    "sample",
     "metric_help",
     "set_provider",
     "provider",
@@ -134,6 +135,10 @@ class TelemetryProvider(Protocol):
 
     def metric_help(self, name: str) -> str: ...
 
+    def sample(
+        self, name: str, value: float, ts: float | None = ...
+    ) -> None: ...
+
 
 _provider: TelemetryProvider | None = None
 
@@ -167,6 +172,21 @@ def span(name: str, cat: str = "span", **attrs: object) -> Any:
     if _provider is None or not _provider.enabled():
         return NULL_SPAN_HANDLE
     return _provider.span(name, cat=cat, **attrs)
+
+
+def sample(name: str, value: float, ts: float | None = None) -> None:
+    """Feed one live-window sample through the provider (no-op when no
+    provider is attached or telemetry is off).
+
+    This is the live-observability leg of the seam: ``repro.obs`` routes
+    it to the attached :class:`repro.obs.live.LiveObs` window set, so
+    core-layer code can contribute sliding-window samples without ever
+    importing ``repro.obs`` (IMP002).  ``ts`` is an explicit (typically
+    simulated-clock) timestamp; None means "the live layer's current
+    heartbeat time".
+    """
+    if _provider is not None and _provider.enabled():
+        _provider.sample(name, value, ts=ts)
 
 
 def metric_help(name: str) -> str:

@@ -50,6 +50,7 @@ __all__ = [
     "tracer",
     "span",
     "event",
+    "sample",
     "write_snapshot",
     "MetricsRegistry",
     "NullRegistry",
@@ -139,6 +140,22 @@ def event(
     """Record an instant event when enabled; no-op otherwise."""
     if _enabled and _tracer is not None:
         _tracer.event(name, ts=ts, cat=cat, domain=domain, **attrs)
+
+
+def sample(name: str, value: float, ts: float | None = None) -> None:
+    """Feed one sliding-window sample to the attached live-observability
+    bundle (:mod:`repro.obs.live`); no-op when nothing is attached.
+
+    This is the provider side of :func:`repro.instrument.sample`, so core
+    layers can contribute window samples without importing ``repro.obs``.
+    """
+    if not _enabled:
+        return
+    from repro.obs import live as _live  # deferred: live imports this pkg
+
+    bundle = _live.active()
+    if bundle is not None:
+        bundle.sample(name, value, ts=ts)
 
 
 # Register this module as the telemetry provider behind the layering-neutral

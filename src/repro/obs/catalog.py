@@ -115,6 +115,20 @@ METRIC_CATALOG: dict[str, tuple[str, str]] = {
         "counter", "SLO deadline misses (timed-out plus late finishes)."),
     "serving.degraded_steps_total": (
         "counter", "Engine steps run with degraded admission knobs."),
+    # ------------------------------------------------- live observability
+    "serving.e2e_seconds": (
+        "histogram", "End-to-end request latency (arrival to last token)."),
+    "serving.live_heartbeats_total": (
+        "counter", "Engine heartbeats fed into the live-observability "
+        "layer (repro.obs.live)."),
+    "serving.slo_burn_rate": (
+        "gauge", "Sliding-window SLO burn rate (miss fraction over the "
+        "error budget; 1.0 = budget consumed as provisioned)."),
+    "serving.slo_state": (
+        "gauge", "SLO monitor state: 0 = ok, 1 = warn, 2 = critical."),
+    "serving.flightrecorder_evictions_total": (
+        "counter", "Completed flight records evicted from the bounded "
+        "ring (FIFO, oldest first)."),
 }
 
 #: Span naming follows the same layer prefixes; the conventional names are

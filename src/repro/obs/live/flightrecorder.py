@@ -1,0 +1,288 @@
+"""Per-request flight recorder: bounded ring of request timelines.
+
+Aggregate metrics say *that* goodput dropped; the flight recorder says
+*why request 17 failed*: every phase transition, retry, fault hit, and
+preemption a request experienced, with simulated timestamps, plus the
+derived queue/prefill/decode timings and the KV blocks it held.
+
+Records are duck-typed against :class:`repro.serving.request.Request`
+attributes fed through the engine's live hooks — this module deliberately
+does not import the serving layer, so ``repro.obs`` stays below
+``repro.serving`` in the import graph.
+
+Capacity is bounded on both sides: at most ``capacity`` *completed*
+records are retained (FIFO eviction, oldest first), and each timeline is
+itself capped so a pathological request cannot grow without bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from threading import Lock
+
+__all__ = ["FlightRecord", "FlightRecorder"]
+
+#: Default completed-record ring capacity.
+DEFAULT_CAPACITY = 256
+
+#: Per-record timeline entry cap (phase churn under heavy preemption).
+MAX_TIMELINE_EVENTS = 512
+
+#: Terminal outcomes that count as failures for ``failures()`` / dumps.
+_FAILURE_OUTCOMES = frozenset({"failed", "rejected", "timed_out"})
+
+
+@dataclass
+class FlightRecord:
+    """The recorded life of one request.
+
+    ``timeline`` is a list of ``(ts, event, detail)`` tuples on the
+    simulated clock; the scalar fields below are derived views the HTTP
+    endpoint and dashboards read directly.
+    """
+
+    request_id: int
+    prompt_len: int = 0
+    max_new_tokens: int = 0
+    arrival_time: float = 0.0
+    timeline: list = field(default_factory=list)
+    outcome: str = ""  # terminal phase value ('' while in flight)
+    failure_reason: str = ""
+    admitted_time: float | None = None
+    first_token_time: float | None = None
+    end_time: float | None = None
+    retries: int = 0
+    preemptions: int = 0
+    faults: int = 0
+    generated: int = 0
+    kv_blocks_peak: int = 0
+    slo_met: bool | None = None
+    timeline_truncated: bool = False
+
+    def note(self, ts: float, event: str, **detail: object) -> None:
+        if len(self.timeline) >= MAX_TIMELINE_EVENTS:
+            self.timeline_truncated = True
+            return
+        self.timeline.append((ts, event, detail))
+
+    # ------------------------------------------------------- derived views
+
+    @property
+    def in_flight(self) -> bool:
+        return self.outcome == ""
+
+    @property
+    def queue_seconds(self) -> float:
+        """Arrival to (first) admission; 0 while never admitted."""
+        if self.admitted_time is None:
+            return 0.0
+        return self.admitted_time - self.arrival_time
+
+    @property
+    def prefill_seconds(self) -> float:
+        """Admission to first token (prefill plus any decode queueing)."""
+        if self.admitted_time is None or self.first_token_time is None:
+            return 0.0
+        return self.first_token_time - self.admitted_time
+
+    @property
+    def decode_seconds(self) -> float:
+        if self.first_token_time is None or self.end_time is None:
+            return 0.0
+        return self.end_time - self.first_token_time
+
+    @property
+    def e2e_seconds(self) -> float:
+        if self.end_time is None:
+            return 0.0
+        return self.end_time - self.arrival_time
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "prompt_len": self.prompt_len,
+            "max_new_tokens": self.max_new_tokens,
+            "arrival_time": self.arrival_time,
+            "outcome": self.outcome or "in_flight",
+            "failure_reason": self.failure_reason,
+            "admitted_time": self.admitted_time,
+            "first_token_time": self.first_token_time,
+            "end_time": self.end_time,
+            "queue_seconds": self.queue_seconds,
+            "prefill_seconds": self.prefill_seconds,
+            "decode_seconds": self.decode_seconds,
+            "e2e_seconds": self.e2e_seconds,
+            "retries": self.retries,
+            "preemptions": self.preemptions,
+            "faults": self.faults,
+            "generated": self.generated,
+            "kv_blocks_peak": self.kv_blocks_peak,
+            "slo_met": self.slo_met,
+            "timeline_truncated": self.timeline_truncated,
+            "timeline": [
+                {"ts": ts, "event": event, **detail}
+                for ts, event, detail in self.timeline
+            ],
+        }
+
+
+class FlightRecorder:
+    """Bounded collection of request flight records.
+
+    In-flight records live in a dict (one per active request); terminal
+    records move to a FIFO ring of at most ``capacity`` entries.  Both
+    populations are queryable by request id; eviction is strictly oldest-
+    completed-first and counted in :attr:`evictions`.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._active: dict[int, FlightRecord] = {}
+        self._completed: list[FlightRecord] = []  # FIFO, oldest first
+        self._by_id: dict[int, FlightRecord] = {}  # completed index
+        self._lock = Lock()
+        self.evictions = 0
+
+    # ----------------------------------------------------------- recording
+
+    def _ensure(self, request_id: int) -> FlightRecord:
+        rec = self._active.get(request_id)
+        if rec is None:
+            rec = FlightRecord(request_id=request_id)
+            self._active[request_id] = rec
+        return rec
+
+    def queued(
+        self,
+        request_id: int,
+        prompt_len: int,
+        max_new_tokens: int,
+        arrival_time: float,
+    ) -> FlightRecord:
+        """First sight of a request (idempotent; retries re-queue)."""
+        with self._lock:
+            rec = self._ensure(request_id)
+            if not rec.timeline:
+                rec.prompt_len = prompt_len
+                rec.max_new_tokens = max_new_tokens
+                rec.arrival_time = arrival_time
+                rec.note(arrival_time, "queued")
+            return rec
+
+    def admitted(self, request_id: int, ts: float, kv_blocks: int = 0) -> None:
+        with self._lock:
+            rec = self._ensure(request_id)
+            if rec.admitted_time is None:
+                rec.admitted_time = ts
+            rec.kv_blocks_peak = max(rec.kv_blocks_peak, kv_blocks)
+            rec.note(ts, "admitted", kv_blocks=kv_blocks)
+
+    def first_token(self, request_id: int, ts: float) -> None:
+        with self._lock:
+            rec = self._ensure(request_id)
+            if rec.first_token_time is None:
+                rec.first_token_time = ts
+            rec.note(ts, "first_token")
+
+    def preempted(self, request_id: int, ts: float, lost_tokens: int = 0) -> None:
+        with self._lock:
+            rec = self._ensure(request_id)
+            rec.preemptions += 1
+            rec.note(ts, "preempted", lost_tokens=lost_tokens)
+
+    def retry(self, request_id: int, ts: float, reason: str, attempt: int) -> None:
+        with self._lock:
+            rec = self._ensure(request_id)
+            rec.retries = max(rec.retries, attempt)
+            rec.note(ts, "retry", reason=reason, attempt=attempt)
+
+    def fault(self, request_id: int, ts: float, kind: str) -> None:
+        with self._lock:
+            rec = self._ensure(request_id)
+            rec.faults += 1
+            rec.note(ts, "fault", kind=kind)
+
+    def kv_blocks(self, request_id: int, blocks: int) -> None:
+        with self._lock:
+            rec = self._active.get(request_id)
+            if rec is not None:
+                rec.kv_blocks_peak = max(rec.kv_blocks_peak, blocks)
+
+    def close(
+        self,
+        request_id: int,
+        ts: float,
+        outcome: str,
+        reason: str = "",
+        generated: int = 0,
+        slo_met: bool | None = None,
+    ) -> FlightRecord:
+        """Terminate a record and move it to the completed ring."""
+        with self._lock:
+            rec = self._active.pop(request_id, None)
+            if rec is None:
+                rec = FlightRecord(request_id=request_id)
+            rec.outcome = outcome
+            rec.failure_reason = reason
+            rec.end_time = ts
+            rec.generated = generated
+            rec.slo_met = slo_met
+            rec.note(ts, outcome, reason=reason)
+            self._completed.append(rec)
+            self._by_id[request_id] = rec
+            while len(self._completed) > self.capacity:
+                evicted = self._completed.pop(0)
+                self.evictions += 1
+                # Only drop the index entry if it still points at the
+                # evicted record (ids can be reused across runs).
+                if self._by_id.get(evicted.request_id) is evicted:
+                    del self._by_id[evicted.request_id]
+            return rec
+
+    # ------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self._active) + len(self._completed)
+
+    def get(self, request_id: int) -> FlightRecord | None:
+        """Look a request up, in-flight or completed (newest wins)."""
+        with self._lock:
+            rec = self._active.get(request_id)
+            if rec is not None:
+                return rec
+            return self._by_id.get(request_id)
+
+    def active_ids(self) -> list[int]:
+        with self._lock:
+            return sorted(self._active)
+
+    def completed(self) -> list[FlightRecord]:
+        """Completed records, oldest first (the retained ring)."""
+        with self._lock:
+            return list(self._completed)
+
+    def failures(self) -> list[FlightRecord]:
+        """Retained records that ended failed / rejected / timed out."""
+        with self._lock:
+            return [
+                r for r in self._completed if r.outcome in _FAILURE_OUTCOMES
+            ]
+
+    def summary(self) -> dict:
+        with self._lock:
+            outcomes: dict[str, int] = {}
+            for rec in self._completed:
+                outcomes[rec.outcome] = outcomes.get(rec.outcome, 0) + 1
+            return {
+                "active": len(self._active),
+                "completed": len(self._completed),
+                "capacity": self.capacity,
+                "evictions": self.evictions,
+                "outcomes": outcomes,
+            }
+
+    def dump_failures(self) -> list[dict]:
+        """Full timelines of every retained failure (crash-dump payload)."""
+        return [rec.to_dict() for rec in self.failures()]

@@ -1,0 +1,262 @@
+"""Windowed time-series: bounded reservoirs with sliding-window stats.
+
+Post-hoc snapshots (:mod:`repro.obs.snapshot`) answer "what happened over
+the whole run"; a long-lived serving engine needs "what is happening *right
+now*".  A :class:`Reservoir` keeps the most recent ``capacity`` samples of
+one metric as ``(timestamp, value)`` pairs in a FIFO ring; a
+:class:`WindowSet` holds one reservoir per catalogued metric and computes
+sliding-window aggregates (rate, mean, p50/p95/p99, max) over the last
+``window_seconds`` of *simulated* clock.
+
+Determinism contract (staticcheck DET scope): everything here is a pure
+function of the samples fed in.  Timestamps arrive as data — typically the
+engine's simulated clock via the per-step heartbeat — and no wall clock is
+ever read, so two identical runs produce identical window tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from threading import Lock
+
+import numpy as np
+
+from repro.obs.catalog import METRIC_CATALOG
+
+__all__ = ["WindowStats", "Reservoir", "WindowSet", "DEFAULT_WINDOW_SECONDS"]
+
+#: Default sliding-window width on the simulated clock.
+DEFAULT_WINDOW_SECONDS = 1.0
+
+#: Default per-metric sample capacity (ring size).
+DEFAULT_CAPACITY = 1024
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Aggregates over the samples inside one sliding window.
+
+    Attributes:
+        count: samples inside the window.
+        total: sum of the sampled values.
+        mean / p50 / p95 / p99 / max: distribution of the sampled values.
+        rate: ``total`` per second of window span (e.g. tokens/s when the
+            samples are per-step token counts).
+        hz: ``count`` per second of window span (e.g. steps/s).
+        span: effective window span in seconds — ``window_seconds``, or
+            less when the stream is younger than the window.
+    """
+
+    count: int
+    total: float
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+    rate: float
+    hz: float
+    span: float
+
+    @classmethod
+    def empty(cls, span: float = 0.0) -> "WindowStats":
+        return cls(
+            count=0, total=0.0, mean=0.0, p50=0.0, p95=0.0, p99=0.0,
+            max=0.0, rate=0.0, hz=0.0, span=span,
+        )
+
+    @classmethod
+    def from_values(cls, values: np.ndarray, span: float) -> "WindowStats":
+        """Aggregate a window's retained values (matches ``np.percentile``)."""
+        if values.size == 0:
+            return cls.empty(span)
+        total = float(values.sum())
+        return cls(
+            count=int(values.size),
+            total=total,
+            mean=float(values.mean()),
+            p50=float(np.percentile(values, 50)),
+            p95=float(np.percentile(values, 95)),
+            p99=float(np.percentile(values, 99)),
+            max=float(values.max()),
+            rate=total / span if span > 0 else 0.0,
+            hz=values.size / span if span > 0 else 0.0,
+            span=span,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count, "total": self.total, "mean": self.mean,
+            "p50": self.p50, "p95": self.p95, "p99": self.p99,
+            "max": self.max, "rate": self.rate, "hz": self.hz,
+            "span": self.span,
+        }
+
+
+class Reservoir:
+    """A bounded FIFO ring of ``(timestamp, value)`` samples.
+
+    The ring never holds more than ``capacity`` samples; pushing into a
+    full ring evicts the oldest sample (and counts the eviction).  Window
+    queries filter the retained samples by timestamp, so a reservoir can
+    back any window narrower than its retention.
+    """
+
+    __slots__ = ("capacity", "_ts", "_values", "_head", "_size",
+                 "evictions", "first_ts", "last_ts", "pushed")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._ts = np.zeros(capacity, dtype=np.float64)
+        self._values = np.zeros(capacity, dtype=np.float64)
+        self._head = 0  # index of the oldest retained sample
+        self._size = 0
+        self.evictions = 0
+        self.first_ts = 0.0  # timestamp of the first sample ever pushed
+        self.last_ts = 0.0
+        self.pushed = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, ts: float, value: float) -> None:
+        """Append one sample, evicting the oldest when full (FIFO)."""
+        if self.pushed == 0:
+            self.first_ts = ts
+        self.pushed += 1
+        self.last_ts = ts
+        idx = (self._head + self._size) % self.capacity
+        if self._size == self.capacity:
+            # Ring full: the head slot is the oldest sample; overwrite it.
+            idx = self._head
+            self._head = (self._head + 1) % self.capacity
+            self.evictions += 1
+        else:
+            self._size += 1
+        self._ts[idx] = ts
+        self._values[idx] = value
+
+    def _retained(self) -> tuple[np.ndarray, np.ndarray]:
+        """Retained ``(ts, values)`` arrays, oldest first."""
+        idx = (self._head + np.arange(self._size)) % self.capacity
+        return self._ts[idx], self._values[idx]
+
+    def values(self, now: float | None = None,
+               window_seconds: float | None = None) -> np.ndarray:
+        """Values inside ``(now - window_seconds, now]`` (all when None)."""
+        ts, vals = self._retained()
+        if window_seconds is None or now is None:
+            return vals
+        return vals[ts > now - window_seconds]
+
+    def stats(self, now: float | None = None,
+              window_seconds: float | None = None) -> WindowStats:
+        """Sliding-window aggregates at time ``now``.
+
+        ``now`` defaults to the newest sample's timestamp.  The rate
+        denominator is the *effective* span: a stream younger than the
+        window is divided by its own age, not the full window, so early
+        rates are not underestimated.
+        """
+        if now is None:
+            now = self.last_ts
+        if window_seconds is None:
+            span = now - self.first_ts if self.pushed else 0.0
+        else:
+            span = min(window_seconds, now - self.first_ts) if self.pushed \
+                else window_seconds
+        return WindowStats.from_values(
+            self.values(now, window_seconds), span
+        )
+
+
+class WindowSet:
+    """One reservoir per metric, keyed by catalogued metric name.
+
+    Sampling an un-catalogued name raises, so the live window tables can
+    never drift from ``obs/catalog.py`` (the staticcheck OBS contract).
+    Thread-safe: the HTTP exporter reads stats while the engine pushes.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        catalog: dict | None = None,
+    ):
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        self.capacity = capacity
+        self.window_seconds = window_seconds
+        self._catalog = METRIC_CATALOG if catalog is None else catalog
+        self._reservoirs: dict[str, Reservoir] = {}
+        self._lock = Lock()
+        self.clock = 0.0  # newest timestamp seen across all reservoirs
+
+    def sample(self, name: str, value: float, ts: float) -> None:
+        """Push one sample for a catalogued metric."""
+        res = self._reservoirs.get(name)
+        if res is None:
+            if name not in self._catalog:
+                raise ValueError(
+                    f"metric {name!r} is not declared in obs/catalog.py; "
+                    "live windows only track catalogued metrics"
+                )
+            with self._lock:
+                res = self._reservoirs.setdefault(
+                    name, Reservoir(self.capacity)
+                )
+        with self._lock:
+            res.push(ts, value)
+            if ts > self.clock:
+                self.clock = ts
+
+    def reservoir(self, name: str) -> Reservoir | None:
+        return self._reservoirs.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._reservoirs)
+
+    def stats(
+        self,
+        now: float | None = None,
+        window_seconds: float | None = None,
+    ) -> dict[str, WindowStats]:
+        """Window aggregates for every tracked metric at time ``now``."""
+        if now is None:
+            now = self.clock
+        if window_seconds is None:
+            window_seconds = self.window_seconds
+        with self._lock:
+            return {
+                name: self._reservoirs[name].stats(now, window_seconds)
+                for name in sorted(self._reservoirs)
+            }
+
+    def to_dict(
+        self, now: float | None = None, window_seconds: float | None = None
+    ) -> dict:
+        return {
+            name: st.to_dict()
+            for name, st in self.stats(now, window_seconds).items()
+        }
+
+    def table(
+        self, now: float | None = None, window_seconds: float | None = None
+    ) -> str:
+        """Aligned text table of the current windows (``repro.cli top``)."""
+        stats = self.stats(now, window_seconds)
+        header = (
+            f"{'metric':40s} {'n':>6s} {'rate/s':>10s} {'mean':>10s} "
+            f"{'p50':>10s} {'p95':>10s} {'p99':>10s} {'max':>10s}"
+        )
+        lines = [header, "-" * len(header)]
+        for name, st in stats.items():
+            lines.append(
+                f"{name:40s} {st.count:>6d} {st.rate:>10.3g} "
+                f"{st.mean:>10.3g} {st.p50:>10.3g} {st.p95:>10.3g} "
+                f"{st.p99:>10.3g} {st.max:>10.3g}"
+            )
+        return "\n".join(lines)

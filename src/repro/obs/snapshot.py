@@ -4,13 +4,19 @@
 the ``REPRO_EMIT_METRICS`` benchmark hook call after a run:
 
 * ``PATH``            — Prometheus text exposition;
-* ``PATH.json``       — the registry as JSON;
+* ``PATH.json``       — the registry as JSON; when a live-observability
+  bundle (:mod:`repro.obs.live`) is attached, a reserved top-level
+  ``"live"`` key carries its final window / SLO / flight-recorder state,
+  so the post-hoc snapshot and the live HTTP endpoints never disagree at
+  shutdown (metric names always contain a dot, so the key cannot
+  collide);
 * ``PATH.trace.json`` — the merged chrome trace (wall-clock span tree plus
   any simulated-timeline records, e.g. an :class:`EngineTracer`'s steps).
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 from repro.obs import export as _export
@@ -24,6 +30,7 @@ def write_snapshot(
     registry=None,
     tracer=None,
     sim_spans: list[SpanRecord] | None = None,
+    live=None,
 ) -> dict[str, Path]:
     """Dump the active (or given) registry and tracer next to ``path``.
 
@@ -34,16 +41,22 @@ def write_snapshot(
         tracer: span tracer (default: the active global one).
         sim_spans: extra simulated-timeline spans to merge into the trace
             (e.g. ``EngineTracer.spans()``).
+        live: a :class:`repro.obs.live.LiveObs` whose final state lands
+            under the JSON export's ``"live"`` key (default: the attached
+            bundle, if any).
 
     Returns:
         ``{"prometheus": ..., "json": ..., "trace": ...}`` written paths.
     """
     from repro import obs  # late import: obs/__init__ imports this module
+    from repro.obs import live as _live
 
     if registry is None:
         registry = obs.metrics()
     if tracer is None:
         tracer = obs.tracer()
+    if live is None:
+        live = _live.active()
 
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -53,7 +66,10 @@ def write_snapshot(
     written["prometheus"] = path
 
     json_path = path.with_name(path.name + ".json")
-    json_path.write_text(_export.registry_json(registry))
+    doc = _export.registry_to_dict(registry)
+    if live is not None:
+        doc["live"] = live.snapshot()
+    json_path.write_text(json.dumps(doc, indent=2, sort_keys=True))
     written["json"] = json_path
 
     trace_path = path.with_name(path.name + ".trace.json")

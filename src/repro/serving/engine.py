@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import repro.obs as obs
+from repro.obs import live as live_obs
 from repro.gpu.spec import A100_80G_SXM4, GPUSpec
 from repro.kernels.attention import DECODE_ATTENTION, PREFILL_ATTENTION
 from repro.kernels.tiling import GEMMShape
@@ -180,6 +181,29 @@ class ThroughputReport:
             return 0.0
         return self.good_output_tokens / self.sim_seconds
 
+    def summary(self) -> str:
+        """One-line run summary (``repro.cli serve`` prints this)."""
+        parts = [
+            f"{self.system} on {self.model}",
+            f"{self.requests_completed} requests",
+            f"{self.output_tokens} tokens in {self.sim_seconds:.2f}s",
+            f"{self.throughput:.0f} tok/s",
+        ]
+        if self.good_output_tokens != self.output_tokens:
+            parts.append(f"goodput {self.goodput:.0f} tok/s")
+        trouble = []
+        if self.requests_rejected:
+            trouble.append(f"{self.requests_rejected} rejected")
+        if self.requests_timed_out:
+            trouble.append(f"{self.requests_timed_out} timed out")
+        if self.requests_failed:
+            trouble.append(f"{self.requests_failed} failed")
+        if self.retries:
+            trouble.append(f"{self.retries} retries")
+        if trouble:
+            parts.append(", ".join(trouble))
+        return " | ".join(parts)
+
     def runtime_breakdown(self) -> dict[str, float]:
         """Fractions of runtime in GEMM / attention / framework overhead —
         the paper's Section 7 accounting (~65% GEMM, ~32% attention)."""
@@ -244,6 +268,9 @@ class _EngineTelemetry:
         self.tpot = m.histogram(
             "serving.tpot_seconds", obs.metric_help("serving.tpot_seconds")
         )
+        self.e2e = m.histogram(
+            "serving.e2e_seconds", obs.metric_help("serving.e2e_seconds")
+        )
         self.kv_utilization = gauge("serving.kv_utilization")
         self.kv_fragmentation = gauge("serving.kv_fragmentation")
         self.kv_free_blocks = gauge("serving.kv_free_blocks")
@@ -268,6 +295,7 @@ class _EngineTelemetry:
         self.tpot.observe(
             (req.finish_time - req.first_token_time) / max(req.generated - 1, 1)
         )
+        self.e2e.observe(clock - req.arrival_time)
         self.request_event("finished", req, clock)
 
     def on_preempt(self, req: Request, clock: float) -> None:
@@ -303,6 +331,120 @@ class _EngineTelemetry:
         self.kv_utilization.set(self._kv.utilization())
         self.kv_fragmentation.set(self._kv.fragmentation())
         self.kv_free_blocks.set(self._kv.free_blocks)
+
+
+class _LiveHooks:
+    """Feeds the attached live-observability bundle (:mod:`repro.obs.live`)
+    from the serving loop: a per-step heartbeat with sliding-window samples,
+    flight-recorder lifecycle events, and streaming SLO outcomes.
+
+    Instantiated only when a bundle is attached, so the detached engine
+    pays one ``live_obs.active()`` read per run (the same zero-cost
+    discipline as :class:`_EngineTelemetry`).  Every timestamp handed over
+    is the engine's *simulated* clock — the live layer never sees wall
+    time, keeping chaos runs bit-reproducible.
+    """
+
+    def __init__(self, live: live_obs.LiveObs, kv: PagedKVManager):
+        self._live = live
+        self._kv = kv
+
+    def _record_queued(self, req: Request) -> None:
+        self._live.flights.queued(
+            req.request_id,
+            prompt_len=req.prompt_len,
+            max_new_tokens=req.max_new_tokens,
+            arrival_time=req.arrival_time,
+        )
+
+    @staticmethod
+    def _has_slo(req: Request) -> bool:
+        return req.ttft_slo is not None or req.e2e_slo is not None
+
+    def on_admit(self, req: Request, clock: float) -> None:
+        self._record_queued(req)
+        self._live.flights.admitted(
+            req.request_id, clock,
+            kv_blocks=self._kv.blocks_needed(req.prompt_len),
+        )
+
+    def on_first_token(self, req: Request, clock: float) -> None:
+        self._live.flights.first_token(req.request_id, clock)
+        self._live.sample(
+            "serving.ttft_seconds", clock - req.arrival_time, clock
+        )
+
+    def on_finish(self, req: Request, clock: float) -> None:
+        fl = self._live.flights
+        fl.kv_blocks(req.request_id, self._kv.blocks_needed(req.total_len))
+        has_slo = self._has_slo(req)
+        fl.close(
+            req.request_id, clock, outcome="finished",
+            generated=req.generated,
+            slo_met=req.slo_met if has_slo else None,
+        )
+        self._live.sample(
+            "serving.tpot_seconds",
+            (req.finish_time - req.first_token_time)
+            / max(req.generated - 1, 1),
+            clock,
+        )
+        self._live.sample(
+            "serving.e2e_seconds", clock - req.arrival_time, clock
+        )
+        if has_slo:
+            self._live.slo.record(
+                clock, met=req.slo_met, request_id=req.request_id
+            )
+
+    def on_preempt(self, req: Request, clock: float) -> None:
+        self._live.flights.preempted(req.request_id, clock)
+
+    def on_reject(self, req: Request, clock: float) -> None:
+        self._record_queued(req)
+        self._live.flights.close(
+            req.request_id, clock, outcome="rejected",
+            reason=req.failure_reason,
+        )
+
+    def on_retry(self, req: Request, clock: float, reason: str) -> None:
+        self._live.flights.retry(
+            req.request_id, clock, reason=reason, attempt=req.retries
+        )
+
+    def on_fail(self, req: Request, clock: float) -> None:
+        self._record_queued(req)
+        self._live.flights.close(
+            req.request_id, clock, outcome="failed",
+            reason=req.failure_reason, generated=req.generated,
+        )
+        if self._has_slo(req):
+            self._live.slo.record(clock, met=False, request_id=req.request_id)
+
+    def on_timeout(self, req: Request, clock: float) -> None:
+        self._record_queued(req)
+        self._live.flights.close(
+            req.request_id, clock, outcome="timed_out",
+            reason=req.failure_reason, generated=req.generated,
+            slo_met=False,
+        )
+        # Timeouts only happen to requests with deadlines configured.
+        self._live.slo.record(clock, met=False, request_id=req.request_id)
+
+    def on_request_fault(self, req: Request, kind: str, clock: float) -> None:
+        self._live.flights.fault(req.request_id, clock, kind=kind)
+
+    def heartbeat(
+        self, kind: str, dt: float, batch: int, tokens: int, clock: float
+    ) -> None:
+        """One engine iteration's worth of sliding-window samples."""
+        self._live.heartbeat(clock, {
+            "serving.step_seconds": dt,
+            "serving.batch_size": float(batch),
+            "serving.output_tokens_total": float(tokens),
+            "serving.kv_utilization": self._kv.utilization(),
+            "serving.kv_free_blocks": float(self._kv.free_blocks),
+        })
 
 
 class ServingEngine:
@@ -522,6 +664,8 @@ class ServingEngine:
         last_decode_clock: float | None = None
         max_decode_gap = 0.0
         tel = _EngineTelemetry(self.kv) if obs.enabled() else None
+        live = live_obs.active()
+        rec = _LiveHooks(live, self.kv) if live is not None else None
         run_span = obs.span(
             "serving.engine_run", cat="serving", model=self.model.name,
             system=self.system.name, requests=len(requests),
@@ -539,6 +683,8 @@ class ServingEngine:
             rejected += 1
             if tel is not None:
                 tel.on_reject(req, clock)
+            if rec is not None:
+                rec.on_reject(req, clock)
             if tracer is not None:
                 tracer.record_event(
                     "rejected", ts=clock, request_id=req.request_id,
@@ -554,6 +700,8 @@ class ServingEngine:
             if tel is not None:
                 tel.on_timeout(req, clock)
                 tel.deadline_misses.inc()
+            if rec is not None:
+                rec.on_timeout(req, clock)
             if tracer is not None:
                 tracer.record_event(
                     "timed_out", ts=clock, request_id=req.request_id,
@@ -573,6 +721,8 @@ class ServingEngine:
                 failed += 1
                 if tel is not None:
                     tel.on_fail(req, clock)
+                if rec is not None:
+                    rec.on_fail(req, clock)
                 if tracer is not None:
                     tracer.record_event(
                         "failed", ts=clock, request_id=req.request_id,
@@ -586,6 +736,8 @@ class ServingEngine:
             retry_queue.append(req)
             if tel is not None:
                 tel.on_retry(req, clock)
+            if rec is not None:
+                rec.on_retry(req, clock, reason)
             if tracer is not None:
                 tracer.record_event(
                     "retry", ts=clock, request_id=req.request_id,
@@ -623,6 +775,8 @@ class ServingEngine:
             req.phase = Phase.PREFILL
             if tel is not None:
                 tel.on_admit(req, clock)
+            if rec is not None:
+                rec.on_admit(req, clock)
             if chunking is None:
                 # Whole-prompt prefill, serialized before decoding.
                 with obs.span(
@@ -646,6 +800,8 @@ class ServingEngine:
                 req.phase = Phase.DECODE
                 if tel is not None:
                     tel.on_step("prefill", dt, 1)
+                if rec is not None:
+                    rec.heartbeat("prefill", dt, 1, 0, clock)
             running.append(req)
 
         with run_span:
@@ -726,6 +882,8 @@ class ServingEngine:
                         failed += 1
                         if tel is not None:
                             tel.on_fail(req, clock)
+                        if rec is not None:
+                            rec.on_fail(req, clock)
                     continue
 
                 peak_batch = max(peak_batch, len(running))
@@ -799,6 +957,7 @@ class ServingEngine:
                         )
 
                 step_preemptions = 0
+                tokens_this_step = 0
                 if fault is not None and fault.kind is FaultKind.KERNEL_FAULT:
                     # The step's results are discarded: the time is spent but
                     # no tokens land and no prefill progress is made; the
@@ -839,16 +998,21 @@ class ServingEngine:
                             waiting.appendleft(victim)
                             if tel is not None:
                                 tel.on_preempt(victim, clock)
+                            if rec is not None:
+                                rec.on_preempt(victim, clock)
                         if not appended:
                             continue
                         req.advance()
                         output_tokens += 1
+                        tokens_this_step += 1
                         if tel is not None:
                             tel.output_tokens.inc()
                         if req.generated == 1:
                             req.first_token_time = clock
                             if tel is not None:
                                 tel.on_first_token(req, clock)
+                            if rec is not None:
+                                rec.on_first_token(req, clock)
                         if (
                             abort_points
                             and req.retries == 0
@@ -859,6 +1023,10 @@ class ServingEngine:
                             faults_injected += 1
                             if tel is not None:
                                 tel.on_fault(FaultKind.REQUEST_ABORT.value, clock)
+                            if rec is not None:
+                                rec.on_request_fault(
+                                    req, FaultKind.REQUEST_ABORT.value, clock
+                                )
                             if req.phase is Phase.FINISHED:
                                 req.phase = Phase.DECODE  # fault beats finish
                             retry_or_fail(req, "request aborted")
@@ -874,10 +1042,14 @@ class ServingEngine:
                                     tel.deadline_misses.inc()
                             if tel is not None:
                                 tel.on_finish(req, clock)
+                            if rec is not None:
+                                rec.on_finish(req, clock)
                         else:
                             still_running.append(req)
                 if tel is not None:
                     tel.on_step(kind, dt, len(running))
+                if rec is not None:
+                    rec.heartbeat(kind, dt, len(running), tokens_this_step, clock)
                 # A victim processed earlier in this step may linger in
                 # still_running with phase WAITING; drop it (it is queued).
                 running = [r for r in still_running if r.phase in _ACTIVE]
@@ -886,7 +1058,12 @@ class ServingEngine:
                     # One running sequence's cache blocks are lost; the
                     # victim restarts from scratch (recompute) after backoff.
                     idx = int(fault.victim_draw * len(running)) % len(running)
-                    retry_or_fail(running[idx], "KV blocks lost")
+                    victim = running[idx]
+                    if rec is not None:
+                        rec.on_request_fault(
+                            victim, FaultKind.KV_LOSS.value, clock
+                        )
+                    retry_or_fail(victim, "KV blocks lost")
                     running = [r for r in running if r.phase in _ACTIVE]
 
                 if has_slos:

@@ -23,18 +23,28 @@ class LatencyReport:
         ttft_*: time to first token (prefill completion - arrival).
         tpot_*: time per output token during decode.
         e2e_*: full request latency.
+
+    Each family carries mean / p50 / p95 / p99 / max — the tail fields
+    (p99, max) are what SLO dashboards and the live-observability windows
+    report, so the post-hoc report exposes the same columns.
     """
 
     num_requests: int
     ttft_mean: float
     ttft_p50: float
     ttft_p95: float
+    ttft_p99: float
+    ttft_max: float
     tpot_mean: float
     tpot_p50: float
     tpot_p95: float
+    tpot_p99: float
+    tpot_max: float
     e2e_mean: float
     e2e_p50: float
     e2e_p95: float
+    e2e_p99: float
+    e2e_max: float
 
     @classmethod
     def zero(cls) -> "LatencyReport":
@@ -42,8 +52,11 @@ class LatencyReport:
         return cls(
             num_requests=0,
             ttft_mean=0.0, ttft_p50=0.0, ttft_p95=0.0,
+            ttft_p99=0.0, ttft_max=0.0,
             tpot_mean=0.0, tpot_p50=0.0, tpot_p95=0.0,
+            tpot_p99=0.0, tpot_max=0.0,
             e2e_mean=0.0, e2e_p50=0.0, e2e_p95=0.0,
+            e2e_p99=0.0, e2e_max=0.0,
         )
 
     @classmethod
@@ -69,18 +82,28 @@ class LatencyReport:
             ttft_mean=float(ttft.mean()),
             ttft_p50=_percentile(ttft, 50),
             ttft_p95=_percentile(ttft, 95),
+            ttft_p99=_percentile(ttft, 99),
+            ttft_max=float(ttft.max()),
             tpot_mean=float(tpot.mean()),
             tpot_p50=_percentile(tpot, 50),
             tpot_p95=_percentile(tpot, 95),
+            tpot_p99=_percentile(tpot, 99),
+            tpot_max=float(tpot.max()),
             e2e_mean=float(e2e.mean()),
             e2e_p50=_percentile(e2e, 50),
             e2e_p95=_percentile(e2e, 95),
+            e2e_p99=_percentile(e2e, 99),
+            e2e_max=float(e2e.max()),
         )
 
     def summary(self) -> str:
         return (
             f"{self.num_requests} requests | "
-            f"TTFT p50/p95 {self.ttft_p50 * 1e3:.1f}/{self.ttft_p95 * 1e3:.1f} ms | "
-            f"TPOT p50/p95 {self.tpot_p50 * 1e3:.1f}/{self.tpot_p95 * 1e3:.1f} ms | "
-            f"e2e p50/p95 {self.e2e_p50:.2f}/{self.e2e_p95:.2f} s"
+            f"TTFT p50/p95/p99 {self.ttft_p50 * 1e3:.1f}/"
+            f"{self.ttft_p95 * 1e3:.1f}/{self.ttft_p99 * 1e3:.1f} ms "
+            f"(max {self.ttft_max * 1e3:.1f}) | "
+            f"TPOT p50/p95/p99 {self.tpot_p50 * 1e3:.1f}/"
+            f"{self.tpot_p95 * 1e3:.1f}/{self.tpot_p99 * 1e3:.1f} ms | "
+            f"e2e p50/p95/p99 {self.e2e_p50:.2f}/{self.e2e_p95:.2f}/"
+            f"{self.e2e_p99:.2f} s (max {self.e2e_max:.2f})"
         )

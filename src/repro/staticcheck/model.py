@@ -32,7 +32,9 @@ __all__ = [
 HOT_PATH_PREFIXES: tuple[str, ...] = ("core/", "kernels/", "gpu/")
 
 #: Determinism scope: seeded-``Generator`` threading is mandatory here.
-DET_PREFIXES: tuple[str, ...] = ("core/", "kernels/")
+#: ``obs/live/`` is included so live-observability aggregation stays on
+#: the simulated clock (wall-clock reads would break replay determinism).
+DET_PREFIXES: tuple[str, ...] = ("core/", "kernels/", "obs/live/")
 DET_FILES: tuple[str, ...] = ("serving/faults.py",)
 
 #: Public-API annotation scope.

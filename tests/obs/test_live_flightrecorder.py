@@ -1,0 +1,128 @@
+"""Tests for the per-request flight recorder."""
+
+from repro.obs.live.flightrecorder import (
+    MAX_TIMELINE_EVENTS,
+    FlightRecorder,
+)
+
+
+def _fly(rec: FlightRecorder, rid: int, close_at: float = 1.0,
+         outcome: str = "finished") -> None:
+    rec.queued(rid, prompt_len=16, max_new_tokens=8, arrival_time=0.0)
+    rec.admitted(rid, 0.1, kv_blocks=2)
+    rec.first_token(rid, 0.3)
+    rec.close(rid, close_at, outcome=outcome, generated=8)
+
+
+class TestLifecycle:
+    def test_full_timeline(self):
+        rec = FlightRecorder()
+        rec.queued(7, prompt_len=32, max_new_tokens=16, arrival_time=0.0)
+        rec.admitted(7, 0.2, kv_blocks=4)
+        rec.first_token(7, 0.5)
+        rec.fault(7, 0.6, kind="kv_loss")
+        rec.retry(7, 0.6, reason="KV blocks lost", attempt=1)
+        rec.admitted(7, 0.7, kv_blocks=4)
+        rec.preempted(7, 0.8)
+        record = rec.close(7, 1.0, outcome="failed", reason="gave up",
+                           generated=3, slo_met=False)
+        events = [e for _, e, _ in record.timeline]
+        assert events == ["queued", "admitted", "first_token", "fault",
+                          "retry", "admitted", "preempted", "failed"]
+        assert record.retries == 1
+        assert record.faults == 1
+        assert record.preemptions == 1
+        assert record.failure_reason == "gave up"
+        assert record.slo_met is False
+        assert record.queue_seconds == 0.2
+        assert record.e2e_seconds == 1.0
+
+    def test_queued_is_idempotent(self):
+        rec = FlightRecorder()
+        rec.queued(1, prompt_len=16, max_new_tokens=8, arrival_time=0.5)
+        rec.queued(1, prompt_len=99, max_new_tokens=99, arrival_time=9.9)
+        record = rec.get(1)
+        assert record.prompt_len == 16
+        assert record.arrival_time == 0.5
+        assert len(record.timeline) == 1
+
+    def test_kv_blocks_tracks_peak(self):
+        rec = FlightRecorder()
+        rec.queued(1, prompt_len=16, max_new_tokens=8, arrival_time=0.0)
+        rec.kv_blocks(1, 3)
+        rec.kv_blocks(1, 7)
+        rec.kv_blocks(1, 5)
+        assert rec.get(1).kv_blocks_peak == 7
+
+    def test_get_finds_active_and_completed(self):
+        rec = FlightRecorder()
+        rec.queued(1, prompt_len=4, max_new_tokens=2, arrival_time=0.0)
+        assert rec.get(1).in_flight
+        assert rec.active_ids() == [1]
+        rec.close(1, 0.5, outcome="finished", generated=2)
+        assert not rec.get(1).in_flight
+        assert rec.active_ids() == []
+        assert rec.get(999) is None
+
+
+class TestBoundedness:
+    def test_completed_ring_evicts_fifo(self):
+        rec = FlightRecorder(capacity=3)
+        for rid in range(5):
+            _fly(rec, rid)
+        retained = [r.request_id for r in rec.completed()]
+        assert retained == [2, 3, 4]  # oldest (0, 1) evicted first
+        assert rec.evictions == 2
+        assert rec.get(0) is None
+        assert rec.get(4) is not None
+
+    def test_id_reuse_keeps_newest_record(self):
+        rec = FlightRecorder(capacity=2)
+        _fly(rec, 1, close_at=1.0)
+        _fly(rec, 1, close_at=2.0)  # same id served again
+        _fly(rec, 2, close_at=3.0)  # evicts the FIRST id-1 record
+        assert rec.evictions == 1
+        # The index must still resolve id 1 to the retained (newer) record.
+        assert rec.get(1) is not None
+        assert rec.get(1).end_time == 2.0
+
+    def test_timeline_is_capped(self):
+        rec = FlightRecorder()
+        rec.queued(1, prompt_len=4, max_new_tokens=2, arrival_time=0.0)
+        for i in range(MAX_TIMELINE_EVENTS + 50):
+            rec.preempted(1, 0.01 * i)
+        record = rec.get(1)
+        assert len(record.timeline) == MAX_TIMELINE_EVENTS
+        assert record.timeline_truncated
+        assert record.preemptions == MAX_TIMELINE_EVENTS + 50  # counts intact
+
+
+class TestQueries:
+    def test_failures_and_dump(self):
+        rec = FlightRecorder()
+        _fly(rec, 1, outcome="finished")
+        _fly(rec, 2, outcome="failed")
+        _fly(rec, 3, outcome="timed_out")
+        _fly(rec, 4, outcome="rejected")
+        assert [r.request_id for r in rec.failures()] == [2, 3, 4]
+        dump = rec.dump_failures()
+        assert len(dump) == 3
+        assert all("timeline" in d for d in dump)
+
+    def test_summary(self):
+        rec = FlightRecorder(capacity=8)
+        _fly(rec, 1, outcome="finished")
+        _fly(rec, 2, outcome="failed")
+        rec.queued(3, prompt_len=4, max_new_tokens=2, arrival_time=0.0)
+        summary = rec.summary()
+        assert summary["active"] == 1
+        assert summary["completed"] == 2
+        assert summary["outcomes"] == {"finished": 1, "failed": 1}
+        assert len(rec) == 3
+
+    def test_to_dict_is_jsonable(self):
+        import json
+
+        rec = FlightRecorder()
+        _fly(rec, 1)
+        json.dumps(rec.get(1).to_dict())

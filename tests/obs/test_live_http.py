@@ -1,0 +1,164 @@
+"""HTTP exporter smoke tests: real sockets on an ephemeral port.
+
+Exercises every route of :class:`LiveHTTPServer` through ``urllib``
+against a hand-fed :class:`LiveObs` bundle — no serving engine needed.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.live import LiveObs
+from repro.obs.live.httpd import ROUTES, LiveHTTPServer
+
+
+def _get(url: str):
+    """Return (status, content_type, body_bytes) — errors included."""
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as resp:
+            return resp.status, resp.headers.get_content_type(), resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, err.headers.get_content_type(), err.read()
+
+
+def _get_json(url: str):
+    status, ctype, body = _get(url)
+    assert ctype == "application/json"
+    return status, json.loads(body)
+
+
+@pytest.fixture()
+def live():
+    """A LiveObs with a few requests and heartbeats already fed in."""
+    bundle = LiveObs(window_seconds=1.0)
+    bundle.flights.queued(1, prompt_len=16, max_new_tokens=8,
+                          arrival_time=0.0)
+    bundle.flights.admitted(1, 0.1, kv_blocks=2)
+    bundle.flights.first_token(1, 0.2)
+    bundle.flights.close(1, 0.5, outcome="finished", generated=8,
+                         slo_met=True)
+    bundle.flights.queued(2, prompt_len=16, max_new_tokens=8,
+                          arrival_time=0.1)
+    bundle.flights.close(2, 0.6, outcome="failed", reason="kv exhausted")
+    bundle.slo.record(0.5, met=True, request_id=1)
+    bundle.slo.record(0.6, met=False, request_id=2)
+    bundle.heartbeat(0.7, {"serving.step_seconds": 0.01,
+                           "serving.batch_size": 2.0})
+    return bundle
+
+
+@pytest.fixture()
+def server(live):
+    srv = LiveHTTPServer(live)
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+class TestRoutes:
+    def test_index_lists_endpoints(self, server):
+        status, doc = _get_json(server.url + "/")
+        assert status == 200
+        assert doc["endpoints"] == ROUTES
+
+    def test_metrics_is_prometheus_text(self, server):
+        status, ctype, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert ctype == "text/plain"
+        assert isinstance(body.decode(), str)
+
+    def test_healthz_reports_live_state(self, server):
+        status, doc = _get_json(server.url + "/healthz")
+        assert status == 200
+        assert doc["live_attached"] is True
+        assert doc["heartbeat_steps"] == 1
+        assert doc["sim_clock"] == pytest.approx(0.7)
+        assert doc["requests_tracked"] == 2
+        assert doc["status"] == "ok"
+        assert doc["slo_state"] == "ok"
+
+    def test_slo_snapshot(self, server):
+        status, doc = _get_json(server.url + "/slo")
+        assert status == 200
+        assert doc["lifetime_total"] == 2
+        assert doc["lifetime_misses"] == 1
+
+    def test_windows(self, server):
+        status, doc = _get_json(server.url + "/windows")
+        assert status == 200
+        assert doc["serving.step_seconds"]["count"] == 1
+
+    def test_requests_index(self, server):
+        status, doc = _get_json(server.url + "/requests")
+        assert status == 200
+        assert doc["active"] == []
+        assert doc["completed"] == [1, 2]
+        assert doc["failures"] == [2]
+        assert doc["summary"]["outcomes"]["failed"] == 1
+
+    def test_request_detail(self, server):
+        status, doc = _get_json(server.url + "/requests/2")
+        assert status == 200
+        assert doc["request_id"] == 2
+        assert doc["outcome"] == "failed"
+        assert doc["failure_reason"] == "kv exhausted"
+        events = [e["event"] for e in doc["timeline"]]
+        assert events == ["queued", "failed"]
+
+    def test_trailing_slash_is_tolerated(self, server):
+        status, _ = _get_json(server.url + "/healthz/")
+        assert status == 200
+
+
+class TestErrors:
+    def test_unknown_request_id_404(self, server):
+        status, doc = _get_json(server.url + "/requests/999")
+        assert status == 404
+        assert "not tracked" in doc["error"]
+
+    def test_bad_request_id_400(self, server):
+        status, doc = _get_json(server.url + "/requests/abc")
+        assert status == 400
+        assert "bad request id" in doc["error"]
+
+    def test_unknown_path_404(self, server):
+        status, doc = _get_json(server.url + "/nope")
+        assert status == 404
+        assert "/metrics" in doc["endpoints"]
+
+    def test_503_when_no_live_attached(self):
+        srv = LiveHTTPServer(live=None)
+        srv.start()
+        try:
+            for path in ("/slo", "/windows", "/requests", "/requests/1"):
+                status, doc = _get_json(srv.url + path)
+                assert status == 503, path
+                assert "no live" in doc["error"]
+            # /healthz and /metrics still answer without a live bundle.
+            status, doc = _get_json(srv.url + "/healthz")
+            assert status == 200
+            assert doc["live_attached"] is False
+        finally:
+            srv.stop()
+
+
+class TestLifecycle:
+    def test_ephemeral_port_is_bound(self, server):
+        assert server.port != 0
+
+    def test_start_is_idempotent(self, server):
+        assert server.start() == server.url
+
+    def test_stop_closes_socket(self, live):
+        srv = LiveHTTPServer(live)
+        url = srv.start()
+        srv.stop()
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(url + "/healthz", timeout=1.0)
+
+    def test_context_manager(self, live):
+        with LiveHTTPServer(live) as srv:
+            status, _ = _get_json(srv.url + "/healthz")
+            assert status == 200

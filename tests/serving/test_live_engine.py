@@ -1,0 +1,162 @@
+"""Engine <-> live-observability integration: the heartbeat contract.
+
+The acceptance criteria from docs/observability.md, asserted end to end:
+the flight recorder holds a full timeline for a failed request, the SLO
+monitor goes non-ok under injected overload, and the report is bit-equal
+with the live layer attached or detached (zero perturbation).
+"""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import live as live_obs
+from repro.model.config import get_model_config
+from repro.serving.engine import EngineConfig, ServingEngine
+from repro.serving.faults import FaultPlan
+from repro.serving.systems import build_system
+from repro.serving.workload import make_overload_trace, make_poisson_trace
+
+
+def _engine():
+    return ServingEngine(
+        get_model_config("llama-3-8b"),
+        build_system("comet"),
+        config=EngineConfig(
+            max_batch=32, hbm_bytes=20e9, prefill_chunk_tokens=256
+        ),
+    )
+
+
+def _overload_trace(engine, n=40, ttft_slo=1.0):
+    return make_overload_trace(
+        n, engine.kv.token_capacity, overload=2.0, ttft_slo=ttft_slo, seed=0
+    )
+
+
+CHAOS = FaultPlan(
+    seed=0, step_fault_rate=0.1, kv_loss_rate=0.02,
+    straggler_rate=0.05, request_abort_rate=0.1,
+)
+
+
+@pytest.fixture()
+def live():
+    bundle = live_obs.attach(window_seconds=1.0)
+    yield bundle
+    live_obs.detach()
+
+
+class TestHeartbeat:
+    def test_engine_feeds_windows_and_clock(self, live):
+        engine = _engine()
+        report = engine.run(make_poisson_trace(12, 50.0, seed=1))
+        assert live.steps > 0
+        assert live.clock == pytest.approx(report.sim_seconds)
+        stats = live.windows.stats()
+        assert stats["serving.step_seconds"].count > 0
+        assert stats["serving.batch_size"].count > 0
+        assert stats["serving.kv_utilization"].count > 0
+
+    def test_heartbeat_hook_fires(self):
+        seen = []
+        live_obs.attach(
+            window_seconds=1.0,
+            heartbeat_hook=lambda b: seen.append(b.steps),
+            hook_every=10,
+        )
+        try:
+            _engine().run(make_poisson_trace(8, 50.0, seed=1))
+        finally:
+            live_obs.detach()
+        assert seen
+        assert all(s % 10 == 0 for s in seen)
+
+
+class TestFlightRecorder:
+    def test_every_request_is_tracked(self, live):
+        engine = _engine()
+        trace = make_poisson_trace(12, 50.0, seed=1)
+        engine.run(trace)
+        assert len(live.flights) == len(trace)
+        assert live.flights.active_ids() == []  # all closed at end of run
+
+    def test_failed_request_has_full_timeline(self, live):
+        engine = _engine()
+        engine.run(_overload_trace(engine), faults=CHAOS)
+        failures = live.flights.failures()
+        assert failures, "overload + chaos must produce failed requests"
+        rec = failures[0]
+        events = [event for _, event, _ in rec.timeline]
+        assert events[0] == "queued"
+        assert events[-1] in ("failed", "rejected", "timed_out")
+        assert rec.end_time is not None
+        assert rec.e2e_seconds is not None
+        json.dumps(rec.to_dict())  # servable via /requests/<id>
+
+    def test_finished_request_phases_are_ordered(self, live):
+        engine = _engine()
+        engine.run(make_poisson_trace(12, 50.0, seed=1))
+        done = [r for r in live.flights.completed()
+                if r.outcome == "finished"]
+        assert done
+        for rec in done:
+            assert rec.arrival_time <= rec.admitted_time
+            assert rec.admitted_time <= rec.first_token_time
+            assert rec.first_token_time <= rec.end_time
+            assert rec.kv_blocks_peak > 0
+            assert rec.generated > 0
+
+
+class TestSLO:
+    def test_non_ok_under_overload(self, live):
+        engine = _engine()
+        engine.run(_overload_trace(engine), faults=CHAOS)
+        snap = live.slo.snapshot()
+        assert snap["worst_state"] in ("warn", "critical")
+        assert snap["lifetime_misses"] > 0
+        assert snap["events"], "degradation transitions must be logged"
+
+    def test_ok_without_slos(self, live):
+        engine = _engine()
+        # No per-request SLOs -> nothing feeds the monitor.
+        engine.run(make_poisson_trace(8, 50.0, seed=1))
+        assert live.slo.state == "ok"
+        assert live.slo.total == 0
+
+
+class TestZeroCost:
+    def test_report_identical_with_and_without_live(self):
+        engine_a = _engine()
+        baseline = engine_a.run(_overload_trace(engine_a), faults=CHAOS)
+        live_obs.attach(window_seconds=1.0)
+        try:
+            engine_b = _engine()
+            observed = engine_b.run(_overload_trace(engine_b), faults=CHAOS)
+        finally:
+            live_obs.detach()
+        assert observed == baseline
+
+    def test_detached_engine_records_nothing(self):
+        live = live_obs.LiveObs()
+        engine = _engine()
+        engine.run(make_poisson_trace(6, 50.0, seed=1))
+        assert live.steps == 0
+        assert len(live.flights) == 0
+
+
+class TestSnapshotExport:
+    def test_write_snapshot_includes_live_state(self, live, tmp_path):
+        obs.enable()
+        try:
+            engine = _engine()
+            engine.run(_overload_trace(engine), faults=CHAOS)
+            paths = obs.write_snapshot(tmp_path / "run")
+            doc = json.loads(paths["json"].read_text())
+        finally:
+            obs.disable()
+        assert "live" in doc
+        assert doc["live"]["steps"] == live.steps
+        assert doc["live"]["slo"]["worst_state"] in ("warn", "critical")
+        assert doc["live"]["flights"]["completed"] == len(live.flights)

@@ -13,7 +13,7 @@ class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
         for cmd in ("models", "kernels", "serve", "quantize", "roofline",
-                    "stats"):
+                    "stats", "top"):
             args = parser.parse_args([cmd] if cmd != "serve" else [cmd])
             assert args.command == cmd
 
@@ -70,6 +70,38 @@ class TestServe:
         ])
         assert rc == 1
         assert "OOM" in capsys.readouterr().err
+
+
+class TestTop:
+    def test_quiet_run(self, capsys):
+        rc = main([
+            "top", "--model", "llama-3-8b", "--system", "comet",
+            "--requests", "12", "--batch", "8", "--quiet",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SLO final:" in out
+        assert "flight records" in out
+        assert "tok/s" in out  # final report summary line
+
+    def test_run_with_http_and_faults(self, capsys):
+        rc = main([
+            "top", "--model", "llama-3-8b", "--system", "comet",
+            "--requests", "12", "--batch", "8", "--quiet",
+            "--http-port", "0", "--faults",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "live endpoints at http://" in out
+
+    def test_dashboard_renders(self, capsys):
+        rc = main([
+            "top", "--model", "llama-3-8b", "--system", "comet",
+            "--requests", "8", "--batch", "8", "--refresh", "50",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serving.step_seconds" in out  # window table rendered
 
 
 class TestQuantize:
