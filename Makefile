@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test staticcheck staticcheck-json staticcheck-baseline lint bench-smoke live-obs-smoke
+.PHONY: test staticcheck staticcheck-json staticcheck-baseline lint bench-smoke bench-scale bench-scale-smoke live-obs-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -29,6 +29,15 @@ lint:
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench_hotpath.py --smoke
+
+## High-concurrency scaling tiers (1k/4k/10k queued requests): vectorized
+## vs scalar engine step-loop overhead, regression-gated at >= 5x (4k tier).
+bench-scale:
+	$(PYTHON) benchmarks/bench_hotpath.py --scale
+
+## The reduced 1k-request variant CI runs (job: bench-scale-smoke).
+bench-scale-smoke:
+	$(PYTHON) benchmarks/bench_hotpath.py --scale --smoke
 
 ## HTTP endpoints + SLO monitor + flight recorder over an overload run.
 live-obs-smoke:

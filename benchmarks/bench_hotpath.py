@@ -28,6 +28,7 @@ files seed the perf trajectory (uploaded as a CI artifact).  Set
 from __future__ import annotations
 
 import argparse
+import gc
 import time
 
 import numpy as np
@@ -60,6 +61,12 @@ SMOKE_DECODE = dict(prompts=(8, 32), new_tokens=8)
 # (requests in the simulated serving trace, concurrency cap)
 FULL_SERVING = dict(num_requests=48, max_batch=32)
 SMOKE_SERVING = dict(num_requests=16, max_batch=8)
+# (queued-request tiers for the high-concurrency scaling bench)
+FULL_SCALE = dict(tiers=(1000, 4000, 10000), max_batch=512)
+SMOKE_SCALE = dict(tiers=(1000,), max_batch=256)
+# Step-overhead speedup floors (vectorized vs scalar engine bookkeeping).
+SCALE_SPEEDUP_FLOOR = 5.0    # full run, 4k+ tier (ISSUE 7 acceptance)
+SCALE_SMOKE_FLOOR = 2.5      # reduced 1k CI variant, noise headroom
 
 
 def _timeit(fn, repeats: int) -> float:
@@ -223,10 +230,109 @@ def run_serving_bench(num_requests=48, max_batch=32):
     return rows
 
 
+# ------------------------------------------------- high-concurrency scale
+
+
+def _scale_trace(num_requests: int, seed: int = 9):
+    """An overload arrival trace with long histories for the scale tiers.
+
+    All requests arrive inside a short burst (the queue goes thousands
+    deep) and prompt lengths cycle through a fixed long-history ladder so
+    the engine's per-``m`` latency caches hit — the bench then times
+    engine *bookkeeping*, not cost-model evaluation.
+    """
+    from repro.serving.request import Request
+
+    rng = np.random.default_rng(seed)
+    arrivals = np.sort(rng.uniform(0.0, 0.25, size=num_requests))
+    prompts = (256, 512, 1024, 2048)
+    outputs = (64, 96, 128, 192)
+    return [
+        Request(
+            request_id=i,
+            prompt_len=prompts[i % len(prompts)],
+            max_new_tokens=outputs[i % len(outputs)],
+            arrival_time=float(arrivals[i]),
+        )
+        for i in range(num_requests)
+    ]
+
+
+def run_scale_bench(tiers=(1000, 4000, 10000), max_batch=512):
+    """Vectorized vs scalar engine bookkeeping at high concurrency.
+
+    Runs the same overload trace through the engine twice per tier —
+    ``EngineConfig.vectorized`` on and off — with a
+    :class:`StepPhaseProfiler` attached, and reports the wall-clock
+    step-loop overhead (admit + schedule + decode + heartbeat phases;
+    the simulated-kernel ``model`` phase is identical work in both modes
+    and excluded).  The two reports must be bit-identical — the bench
+    asserts it, so the perf row can never come from divergent behavior.
+    """
+    from repro.serving.engine import EngineConfig, ServingEngine
+    from repro.serving.stepprof import StepPhaseProfiler
+    from repro.serving.systems import build_system
+
+    model = tiny_config(name="scale-bench")
+    rows = []
+    for n in tiers:
+        outcomes = {}
+        for vectorized in (False, True):
+            engine = ServingEngine(
+                model,
+                build_system("comet"),
+                config=EngineConfig(
+                    max_batch=max_batch, vectorized=vectorized
+                ),
+            )
+            prof = StepPhaseProfiler()
+            trace = _scale_trace(n)
+            # GC pauses land on whichever phase is active and can dwarf
+            # the bookkeeping being measured; collect up front, then
+            # disable for the timed run so both modes see zero GC noise.
+            gc.collect()
+            gc.disable()
+            try:
+                report = engine.run(trace, profiler=prof)
+            finally:
+                gc.enable()
+            outcomes[vectorized] = (report, prof)
+        scalar_rep, scalar_prof = outcomes[False]
+        vec_rep, vec_prof = outcomes[True]
+        assert scalar_rep == vec_rep, (
+            f"vectorized engine diverged at tier {n}"
+        )
+        scalar_us = scalar_prof.per_step_us()
+        vec_us = vec_prof.per_step_us()
+        rows.append(
+            {
+                "requests": int(n),
+                "steps": int(vec_rep.engine_steps),
+                "throughput_tok_s": vec_rep.throughput,
+                "peak_batch": int(vec_rep.peak_batch),
+                "scalar_overhead_us_per_step": scalar_us["overhead"],
+                "vectorized_overhead_us_per_step": vec_us["overhead"],
+                "overhead_speedup": (
+                    scalar_us["overhead"] / vec_us["overhead"]
+                    if vec_us["overhead"] > 0 else float("inf")
+                ),
+                "vectorized_phases_us_per_step": {
+                    p: vec_us[p] for p in ("admit", "schedule", "decode",
+                                           "heartbeat", "model")
+                },
+                "scalar_phases_us_per_step": {
+                    p: scalar_us[p] for p in ("admit", "schedule", "decode",
+                                              "heartbeat", "model")
+                },
+            }
+        )
+    return rows
+
+
 # ------------------------------------------------------------- harnessing
 
 
-def run_all(smoke: bool = False) -> dict:
+def run_all(smoke: bool = False, scale: bool = False) -> dict:
     maybe_emit_metrics()
     kv_args = SMOKE_KV if smoke else FULL_KV
     gemm_args = SMOKE_GEMM if smoke else FULL_GEMM
@@ -239,6 +345,10 @@ def run_all(smoke: bool = False) -> dict:
         "decode": run_decode_bench(**decode_args),
         "serving": run_serving_bench(**serving_args),
     }
+    if scale:
+        results["scale"] = run_scale_bench(
+            **(SMOKE_SCALE if smoke else FULL_SCALE)
+        )
 
     kv = results["kvcache"]
     emit(
@@ -297,6 +407,33 @@ def run_all(smoke: bool = False) -> dict:
             notes=["simulated clock: deterministic across machines."],
         ),
     )
+    if scale:
+        sc = results["scale"]
+        emit(
+            "hotpath_scale",
+            format_table(
+                "Scaling tier — engine step-loop overhead, vectorized vs scalar",
+                ["requests", "steps", "scalar us/step", "vectorized us/step",
+                 "speedup"],
+                [
+                    [r["requests"], r["steps"],
+                     r["scalar_overhead_us_per_step"],
+                     r["vectorized_overhead_us_per_step"],
+                     r["overhead_speedup"]]
+                    for r in sc
+                ],
+                notes=[
+                    "overhead = admit + schedule + decode + heartbeat phases",
+                    "(wall clock; the simulated `model` phase is excluded);",
+                    f"target: >= {SCALE_SPEEDUP_FLOOR:g}x at the 4k tier "
+                    "(ISSUE 7 acceptance). Reports are asserted bit-equal.",
+                ],
+            ),
+        )
+        emit_json(
+            "hotpath_scale", {"mode": results["mode"], "rows": sc},
+            trajectory="serving",
+        )
     for name in ("kvcache", "gemm", "decode"):
         emit_json(f"hotpath_{name}", {"mode": results["mode"], "rows": results[name]})
     # Simulated serving numbers are deterministic, so they also feed the
@@ -338,6 +475,16 @@ def test_hotpath_emits_results():
     assert results["kvcache"] and results["gemm"] and results["decode"]
 
 
+def test_scale_vectorized_overhead_speedup():
+    """The vectorized engine cuts per-step bookkeeping by the smoke floor
+    at the 1k tier (the full 4k tier asserts SCALE_SPEEDUP_FLOOR in the
+    ``bench-scale`` run); reports are asserted bit-equal inside the bench."""
+    rows = run_scale_bench(**SMOKE_SCALE)
+    assert rows
+    best = max(r["overhead_speedup"] for r in rows)
+    assert best >= SCALE_SMOKE_FLOOR, rows
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -345,8 +492,27 @@ def main() -> None:
         action="store_true",
         help="tiny shapes for CI: seconds, not minutes",
     )
+    parser.add_argument(
+        "--scale",
+        action="store_true",
+        help="also run the high-concurrency scaling tiers (1k/4k/10k "
+        "queued requests; 1k only with --smoke) and enforce the "
+        "step-overhead speedup floor",
+    )
     args = parser.parse_args()
-    run_all(smoke=args.smoke)
+    results = run_all(smoke=args.smoke, scale=args.scale)
+    if args.scale:
+        floor = SCALE_SMOKE_FLOOR if args.smoke else SCALE_SPEEDUP_FLOOR
+        gate = [
+            r for r in results["scale"]
+            if r["requests"] >= (1000 if args.smoke else 4000)
+        ]
+        worst = min(r["overhead_speedup"] for r in gate)
+        if worst < floor:
+            raise SystemExit(
+                f"scale regression: step-overhead speedup {worst:.2f}x "
+                f"is below the {floor:g}x floor"
+            )
 
 
 if __name__ == "__main__":

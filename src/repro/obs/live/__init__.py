@@ -118,11 +118,43 @@ class LiveObs:
         if self._hook is not None and self.steps % self._hook_every == 0:
             self._hook(self)
 
+    def heartbeat_batch(self, clocks, samples: dict) -> None:
+        """Feed a contiguous run of engine steps at once.
+
+        ``clocks`` is an ascending array of per-step simulated timestamps
+        and ``samples`` maps catalogued metric names to equal-length value
+        arrays.  The end state (windows, SLO monitor, counters, hook call
+        count) is identical to calling :meth:`heartbeat` per step; the
+        per-step lock/sample overhead is paid once per batch.  The
+        heartbeat hook fires at the same step multiples, with the step
+        counter, live clock, and SLO monitor at its own step — only the
+        window reservoirs already hold the whole batch's samples.
+        """
+        n = len(clocks)
+        if n == 0:
+            return
+        last = float(clocks[-1])
+        with self._lock:
+            base = self.steps
+        for name, values in samples.items():
+            self.windows.extend(name, values, clocks)
+        hook = self._hook
+        every = self._hook_every
+        for k in range(n):
+            c = float(clocks[k])
+            self.slo.advance(c)
+            self.steps = base + k + 1
+            if c > self.clock:
+                self.clock = c
+            if hook is not None and self.steps % every == 0:
+                hook(self)
+        self._export_metrics(last, count=n)
+
     def sample(self, name: str, value: float, ts: float | None = None) -> None:
         """Feed one window sample (timestamp defaults to the live clock)."""
         self.windows.sample(name, value, self.clock if ts is None else ts)
 
-    def _export_metrics(self, clock: float) -> None:
+    def _export_metrics(self, clock: float, count: int = 1) -> None:
         """Mirror live health into the metrics registry (``/metrics``)."""
         if not obs.enabled():
             return
@@ -130,7 +162,7 @@ class LiveObs:
         m.counter(
             "serving.live_heartbeats_total",
             obs.metric_help("serving.live_heartbeats_total"),
-        ).inc()
+        ).inc(count)
         m.gauge(
             "serving.slo_burn_rate", obs.metric_help("serving.slo_burn_rate")
         ).set(self.slo.burn_rate(clock))

@@ -138,6 +138,35 @@ class Reservoir:
         self._ts[idx] = ts
         self._values[idx] = value
 
+    def extend(self, ts: np.ndarray, values: np.ndarray) -> None:
+        """Append many samples at once — exactly equivalent to pushing
+        them one by one (same retained ring, evictions, and counters),
+        but with one vectorized write instead of n python calls."""
+        n = int(len(ts))
+        if n == 0:
+            return
+        if self.pushed == 0:
+            self.first_ts = float(ts[0])
+        self.pushed += n
+        self.last_ts = float(ts[-1])
+        cap = self.capacity
+        if n >= cap:
+            # Only the last ``cap`` samples survive; everything earlier
+            # is pushed straight through the ring and evicted.
+            self.evictions += self._size + n - cap
+            self._ts[:] = ts[n - cap:]
+            self._values[:] = values[n - cap:]
+            self._head = 0
+            self._size = cap
+            return
+        overflow = max(0, self._size + n - cap)
+        idx = (self._head + self._size + np.arange(n)) % cap
+        self._ts[idx] = ts
+        self._values[idx] = values
+        self._size = self._size + n - overflow
+        self._head = (self._head + overflow) % cap
+        self.evictions += overflow
+
     def _retained(self) -> tuple[np.ndarray, np.ndarray]:
         """Retained ``(ts, values)`` arrays, oldest first."""
         idx = (self._head + np.arange(self._size)) % self.capacity
@@ -212,6 +241,28 @@ class WindowSet:
             res.push(ts, value)
             if ts > self.clock:
                 self.clock = ts
+
+    def extend(self, name: str, values: np.ndarray, ts: np.ndarray) -> None:
+        """Push a batch of samples for a catalogued metric (amortized
+        heartbeats); equivalent to sampling each pair in order."""
+        if len(values) == 0:
+            return
+        res = self._reservoirs.get(name)
+        if res is None:
+            if name not in self._catalog:
+                raise ValueError(
+                    f"metric {name!r} is not declared in obs/catalog.py; "
+                    "live windows only track catalogued metrics"
+                )
+            with self._lock:
+                res = self._reservoirs.setdefault(
+                    name, Reservoir(self.capacity)
+                )
+        with self._lock:
+            res.extend(ts, values)
+            newest = float(ts[-1])
+            if newest > self.clock:
+                self.clock = newest
 
     def reservoir(self, name: str) -> Reservoir | None:
         return self._reservoirs.get(name)

@@ -31,12 +31,15 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 import repro.obs as obs
 from repro.obs import live as live_obs
 from repro.gpu.spec import A100_80G_SXM4, GPUSpec
 from repro.kernels.attention import DECODE_ATTENTION, PREFILL_ATTENTION
 from repro.kernels.tiling import GEMMShape
 from repro.model.config import ModelConfig
+from repro.serving.batchstate import BatchState, DeadlineHeap, RetryHeap
 from repro.serving.faults import FaultKind, FaultPlan
 from repro.serving.memory_planner import DEFAULT_HBM_BYTES, MemoryPlan, plan_memory
 from repro.serving.paged_kv import PagedKVManager
@@ -44,6 +47,7 @@ from repro.serving.request import Phase, Request
 from repro.serving.systems import ServingSystem
 
 if TYPE_CHECKING:  # deferred: trace imports obs eagerly, engine lazily
+    from repro.serving.stepprof import StepPhaseProfiler
     from repro.serving.trace import EngineTracer
 
 __all__ = ["EngineConfig", "ThroughputReport", "ServingEngine"]
@@ -84,6 +88,11 @@ class EngineConfig:
         degrade_pressure: KV-pool block-usage fraction treated as pressure.
         degrade_window: consecutive hot (cool) steps before the degradation
             policy shrinks (re-grows) the admission knobs.
+        vectorized: run the step loop's bookkeeping (phase partitioning,
+            context sums, token advancement, deadline checks) over numpy
+            batch arrays instead of per-request python scans.  Decisions
+            and reports are bit-identical either way; ``False`` keeps the
+            scalar loops as the correctness oracle.
     """
 
     max_batch: int = 512
@@ -107,6 +116,7 @@ class EngineConfig:
     degrade_under_pressure: bool = False
     degrade_pressure: float = 0.92
     degrade_window: int = 4
+    vectorized: bool = True
 
     def __post_init__(self) -> None:
         if self.decode_attention not in DECODE_ATTENTION:
@@ -165,6 +175,8 @@ class ThroughputReport:
     degraded_steps: int = 0
     #: Output tokens of requests that finished within every configured SLO.
     good_output_tokens: int = 0
+    #: Compute iterations the loop executed (batch steps, not admissions).
+    engine_steps: int = 0
 
     @property
     def throughput(self) -> float:
@@ -343,11 +355,38 @@ class _LiveHooks:
     discipline as :class:`_EngineTelemetry`).  Every timestamp handed over
     is the engine's *simulated* clock — the live layer never sees wall
     time, keeping chaos runs bit-reproducible.
+
+    Heartbeats are buffered in a small ring and handed to the live layer
+    in batches (:meth:`LiveObs.heartbeat_batch`), amortizing the per-step
+    lock/sample cost at high concurrency.  The buffer flushes before every
+    lifecycle event so sample/record ordering inside the live layer is
+    identical to unbuffered per-step feeding, and :meth:`flush` drains the
+    tail at the end of a run.
     """
+
+    #: Heartbeats buffered before a bulk hand-off to the live layer.
+    FLUSH_EVERY = 64
 
     def __init__(self, live: live_obs.LiveObs, kv: PagedKVManager):
         self._live = live
         self._kv = kv
+        self._hb = np.zeros((self.FLUSH_EVERY, 6), dtype=np.float64)
+        self._hb_n = 0
+
+    def flush(self) -> None:
+        """Hand buffered heartbeats to the live layer, oldest first."""
+        n = self._hb_n
+        if n == 0:
+            return
+        self._hb_n = 0
+        buf = self._hb
+        self._live.heartbeat_batch(buf[:n, 0], {
+            "serving.step_seconds": buf[:n, 1],
+            "serving.batch_size": buf[:n, 2],
+            "serving.output_tokens_total": buf[:n, 3],
+            "serving.kv_utilization": buf[:n, 4],
+            "serving.kv_free_blocks": buf[:n, 5],
+        })
 
     def _record_queued(self, req: Request) -> None:
         self._live.flights.queued(
@@ -362,6 +401,7 @@ class _LiveHooks:
         return req.ttft_slo is not None or req.e2e_slo is not None
 
     def on_admit(self, req: Request, clock: float) -> None:
+        self.flush()
         self._record_queued(req)
         self._live.flights.admitted(
             req.request_id, clock,
@@ -369,12 +409,14 @@ class _LiveHooks:
         )
 
     def on_first_token(self, req: Request, clock: float) -> None:
+        self.flush()
         self._live.flights.first_token(req.request_id, clock)
         self._live.sample(
             "serving.ttft_seconds", clock - req.arrival_time, clock
         )
 
     def on_finish(self, req: Request, clock: float) -> None:
+        self.flush()
         fl = self._live.flights
         fl.kv_blocks(req.request_id, self._kv.blocks_needed(req.total_len))
         has_slo = self._has_slo(req)
@@ -398,9 +440,11 @@ class _LiveHooks:
             )
 
     def on_preempt(self, req: Request, clock: float) -> None:
+        self.flush()
         self._live.flights.preempted(req.request_id, clock)
 
     def on_reject(self, req: Request, clock: float) -> None:
+        self.flush()
         self._record_queued(req)
         self._live.flights.close(
             req.request_id, clock, outcome="rejected",
@@ -408,11 +452,13 @@ class _LiveHooks:
         )
 
     def on_retry(self, req: Request, clock: float, reason: str) -> None:
+        self.flush()
         self._live.flights.retry(
             req.request_id, clock, reason=reason, attempt=req.retries
         )
 
     def on_fail(self, req: Request, clock: float) -> None:
+        self.flush()
         self._record_queued(req)
         self._live.flights.close(
             req.request_id, clock, outcome="failed",
@@ -422,6 +468,7 @@ class _LiveHooks:
             self._live.slo.record(clock, met=False, request_id=req.request_id)
 
     def on_timeout(self, req: Request, clock: float) -> None:
+        self.flush()
         self._record_queued(req)
         self._live.flights.close(
             req.request_id, clock, outcome="timed_out",
@@ -432,19 +479,24 @@ class _LiveHooks:
         self._live.slo.record(clock, met=False, request_id=req.request_id)
 
     def on_request_fault(self, req: Request, kind: str, clock: float) -> None:
+        self.flush()
         self._live.flights.fault(req.request_id, clock, kind=kind)
 
     def heartbeat(
         self, kind: str, dt: float, batch: int, tokens: int, clock: float
     ) -> None:
-        """One engine iteration's worth of sliding-window samples."""
-        self._live.heartbeat(clock, {
-            "serving.step_seconds": dt,
-            "serving.batch_size": float(batch),
-            "serving.output_tokens_total": float(tokens),
-            "serving.kv_utilization": self._kv.utilization(),
-            "serving.kv_free_blocks": float(self._kv.free_blocks),
-        })
+        """Buffer one engine iteration's worth of sliding-window samples
+        (KV gauges are snapshotted now, at the step's own clock)."""
+        row = self._hb[self._hb_n]
+        row[0] = clock
+        row[1] = dt
+        row[2] = float(batch)
+        row[3] = float(tokens)
+        row[4] = self._kv.utilization()
+        row[5] = float(self._kv.free_blocks)
+        self._hb_n += 1
+        if self._hb_n == self.FLUSH_EVERY:
+            self.flush()
 
 
 class ServingEngine:
@@ -500,6 +552,7 @@ class ServingEngine:
         self.decode_attention = DECODE_ATTENTION[self.config.decode_attention](spec)
         self.prefill_attention = PREFILL_ATTENTION[self.config.prefill_attention](spec)
         self._stack_latency_cache: dict[int, float] = {}
+        self._prefill_attn_cache: dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # Step-time model
@@ -543,7 +596,12 @@ class ServingEngine:
         return attn + elementwise
 
     def prefill_attention_time(self, prompt_len: int) -> float:
-        """Attention cost of one request's prefill, incl. the KV write."""
+        """Attention cost of one request's prefill, incl. the KV write
+        (cached per prompt length — admission evaluates it per request
+        and real traces repeat lengths)."""
+        cached = self._prefill_attn_cache.get(prompt_len)
+        if cached is not None:
+            return cached
         attn = self.prefill_attention.latency(
             prompt_len, self.model.d_model, self.model.n_layers
         )
@@ -552,7 +610,9 @@ class ServingEngine:
             * self._kv_bytes_per_token_per_gpu
             / self.spec.hbm_bandwidth
         )
-        return attn + kv_write
+        total = attn + kv_write
+        self._prefill_attn_cache[prompt_len] = total
+        return total
 
     def _chunk_attention_time(self, chunk: int, progress: int) -> float:
         """Attention cost of one prefill chunk attending to its history."""
@@ -589,13 +649,23 @@ class ServingEngine:
         requests: list[Request],
         tracer: "EngineTracer | None" = None,
         faults: FaultPlan | None = None,
+        profiler: "StepPhaseProfiler | None" = None,
     ) -> ThroughputReport:
         """Serve a request list to completion and report throughput.
 
         Pass an :class:`repro.serving.trace.EngineTracer` as ``tracer`` to
         record a per-iteration timeline, and a
         :class:`repro.serving.faults.FaultPlan` as ``faults`` to run under
-        injected transient failures (chaos mode).
+        injected transient failures (chaos mode).  A
+        :class:`repro.serving.stepprof.StepPhaseProfiler` as ``profiler``
+        attributes the loop's *wall-clock* cost to scheduling phases (the
+        high-concurrency benchmark tier reads this; simulated results are
+        unaffected).
+
+        With ``EngineConfig.vectorized`` (the default) the per-step
+        bookkeeping runs over numpy batch arrays (:class:`BatchState`);
+        steps a fault or abort touches fall back to the scalar loop, whose
+        decisions the fast path reproduces exactly.
 
         Requests with nonzero ``arrival_time`` form a trace: the clock fast-
         forwards over idle gaps and admission only considers arrived
@@ -634,8 +704,17 @@ class ServingEngine:
         waiting = deque(
             sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
         )
-        retry_queue: list[Request] = []
-        running: list[Request] = []
+        expiry = DeadlineHeap()
+        if has_slos:
+            for r in waiting:
+                expiry.push(r)
+        retry_queue = RetryHeap()
+        state = BatchState() if self.config.vectorized else None
+        # In vectorized mode ``running`` aliases state.reqs; any scalar
+        # fallback that rebinds it is followed by a rebuild restoring the
+        # alias before the next iteration's admission code runs.
+        running: list[Request] = state.reqs if state is not None else []
+        prof = profiler
         committed_tokens = 0
         capacity = int(self.kv.token_capacity * self.config.kv_capacity_slack)
         clock = 0.0
@@ -733,7 +812,7 @@ class ServingEngine:
             req.not_before = clock + self.config.retry_backoff * (
                 2 ** (req.retries - 1)
             )
-            retry_queue.append(req)
+            retry_queue.push(req)
             if tel is not None:
                 tel.on_retry(req, clock)
             if rec is not None:
@@ -765,6 +844,21 @@ class ServingEngine:
                     f"({self.kv.token_capacity} tokens)"
                 )
             return None
+
+        def clean_waiting() -> None:
+            """Drop terminal (heap-swept) entries from the deque head."""
+            while waiting and waiting[0].is_terminal:
+                waiting.popleft()
+
+        def add_running(req: Request) -> None:
+            """Enter the batch (and its array mirror, when vectorized)."""
+            if state is not None:
+                abort_at = -1
+                if abort_points and req.retries == 0:
+                    abort_at = abort_points.get(req.request_id, -1)
+                state.add(req, self.kv.sequence_row(req.request_id), abort_at)
+            else:
+                running.append(req)
 
         def start_request(req: Request) -> None:
             """Post-admission bookkeeping shared by the arrival and retry
@@ -802,42 +896,63 @@ class ServingEngine:
                     tel.on_step("prefill", dt, 1)
                 if rec is not None:
                     rec.heartbeat("prefill", dt, 1, 0, clock)
-            running.append(req)
+            add_running(req)
 
         with run_span:
             for _ in range(self.config.max_steps):
+                if prof is not None:
+                    prof.begin()
                 if not running:
+                    clean_waiting()
                     next_arrival = (
                         waiting[0].arrival_time if waiting else float("inf")
                     )
-                    next_retry = min(
-                        (r.not_before for r in retry_queue), default=float("inf")
-                    )
+                    next_retry = retry_queue.next_ready_time()
                     wake = min(next_arrival, next_retry)
                     if wake != float("inf") and wake > clock:
                         clock = wake  # idle until next arrival / backoff expiry
 
+                # Shed every queued request whose deadline has already
+                # passed, wherever it sits in the FIFO (the heap sweep; the
+                # deque drops the now-terminal entries lazily).
+                if has_slos:
+                    for req in expiry.expired(clock):
+                        expire(req, "expired while waiting")
+
                 # Re-admission of backed-off retries (they were already
                 # accepted once, so they queue ahead of new arrivals).
-                if retry_queue:
-                    retry_queue.sort(key=lambda r: (r.not_before, r.request_id))
-                    while (
-                        retry_queue
-                        and len(running) < eff_max_batch
-                        and retry_queue[0].not_before <= clock
+                while (
+                    retry_queue
+                    and len(running) < eff_max_batch
+                    and retry_queue.next_ready_time() <= clock
+                ):
+                    req = retry_queue.peek()
+                    if req.is_terminal:
+                        # Already shed by the deadline sweep while backing
+                        # off (its heap entry outlives the fault/retry).
+                        retry_queue.pop()
+                        continue
+                    if has_slos and clock > min(
+                        req.e2e_deadline, req.ttft_deadline
                     ):
-                        req = retry_queue[0]
-                        if not self._admit(req, committed_tokens, capacity):
-                            break
-                        retry_queue.pop(0)
-                        start_request(req)
+                        # The deadline lapsed during backoff; shed it.
+                        retry_queue.pop()
+                        expire(req, "expired during retry backoff")
+                        continue
+                    if not self._admit(req, committed_tokens, capacity):
+                        break
+                    retry_queue.pop()
+                    start_request(req)
 
                 # Admission.
-                while (
-                    waiting
-                    and len(running) < eff_max_batch
-                    and waiting[0].arrival_time <= clock
-                ):
+                while True:
+                    clean_waiting()
+                    if not (
+                        waiting
+                        and len(running) < eff_max_batch
+                        and waiting[0].arrival_time <= clock
+                    ):
+                        break
                     req = waiting[0]
                     reason = infeasible_reason(req)
                     if reason is not None:
@@ -857,14 +972,13 @@ class ServingEngine:
                     start_request(req)
 
                 if not running:
+                    clean_waiting()
                     if not waiting and not retry_queue:
                         break
                     pending_arrival = (
                         waiting[0].arrival_time if waiting else float("inf")
                     )
-                    pending_retry = min(
-                        (r.not_before for r in retry_queue), default=float("inf")
-                    )
+                    pending_retry = retry_queue.next_ready_time()
                     if min(pending_arrival, pending_retry) > clock:
                         continue  # fast-forward next iteration
                     # An arrived request could not enter an empty pool even
@@ -874,10 +988,7 @@ class ServingEngine:
                         req = waiting.popleft()
                         reject(req, "admission failed with an empty KV pool")
                     else:
-                        retry_queue.sort(
-                            key=lambda r: (r.not_before, r.request_id)
-                        )
-                        req = retry_queue.pop(0)
+                        req = retry_queue.pop()
                         req.fail("re-admission failed with an empty KV pool", clock)
                         failed += 1
                         if tel is not None:
@@ -885,12 +996,32 @@ class ServingEngine:
                         if rec is not None:
                             rec.on_fail(req, clock)
                     continue
+                if prof is not None:
+                    prof.lap("admit")
 
-                peak_batch = max(peak_batch, len(running))
-                decode_reqs = [r for r in running if r.phase is Phase.DECODE]
-                prefill_req = next(
-                    (r for r in running if r.phase is Phase.PREFILL), None
-                )
+                n_run = len(running)
+                peak_batch = max(peak_batch, n_run)
+                if state is not None:
+                    # Partition and aggregate over the batch arrays: no
+                    # per-request python in the common case.
+                    dec_idx = np.flatnonzero(state.decoding)
+                    n_dec = int(dec_idx.size)
+                    if n_dec < n_run:
+                        pf_i = int(np.flatnonzero(~state.decoding)[0])
+                        prefill_req = running[pf_i]
+                    else:
+                        pf_i = -1
+                        prefill_req = None
+                    dec_context = int(state.ctx[dec_idx].sum()) if n_dec else 0
+                else:
+                    dec_idx = None
+                    pf_i = -1
+                    decode_reqs = [r for r in running if r.phase is Phase.DECODE]
+                    n_dec = len(decode_reqs)
+                    prefill_req = next(
+                        (r for r in running if r.phase is Phase.PREFILL), None
+                    )
+                    dec_context = sum(r.context_len for r in decode_reqs)
                 chunk = 0
                 if prefill_req is not None:
                     chunk = min(
@@ -899,9 +1030,9 @@ class ServingEngine:
 
                 # One continuous-batching iteration: decode tokens plus (when
                 # chunking) one prompt chunk share the same GEMM pass.
-                if decode_reqs and chunk:
+                if n_dec and chunk:
                     kind = "mixed"
-                elif decode_reqs:
+                elif n_dec:
                     kind = "decode"
                 else:
                     kind = "prefill"
@@ -909,13 +1040,15 @@ class ServingEngine:
                 if fault_active:
                     fault = faults.step_fault(compute_steps)
                 compute_steps += 1
-                m = len(decode_reqs) + chunk
+                if prof is not None:
+                    prof.step()
+                    prof.lap("schedule")
+                m = n_dec + chunk
                 with obs.span("engine.step", cat="serving", kind=kind) as step_span:
                     gemm = self.linear_stack_latency(m)
                     attn = 0.0
-                    if decode_reqs:
-                        context = sum(r.context_len for r in decode_reqs)
-                        attn += self.decode_attention_time(context, len(decode_reqs))
+                    if n_dec:
+                        attn += self.decode_attention_time(dec_context, n_dec)
                     if chunk:
                         attn += self._chunk_attention_time(
                             chunk, prefill_req.prefill_progress
@@ -927,19 +1060,24 @@ class ServingEngine:
                         stall = dt * (fault.slowdown - 1.0)
                         dt += stall
                         overhead_s += stall
-                    step_span.set(batch=len(running), sim_seconds=dt)
+                    step_span.set(batch=n_run, sim_seconds=dt)
+                if prof is not None:
+                    prof.lap("model")
                 if tracer is not None:
                     tracer.record(
                         start=clock, duration=dt, kind=kind,
-                        batch=len(running), decode_tokens=len(decode_reqs),
+                        batch=n_run, decode_tokens=n_dec,
                         prefill_tokens=chunk,
-                        context_tokens=sum(r.context_len for r in running),
+                        context_tokens=(
+                            int(state.ctx.sum()) if state is not None
+                            else sum(r.context_len for r in running)
+                        ),
                     )
                 clock += dt
                 gemm_s += gemm
                 attn_s += attn
                 overhead_s += self.config.step_overhead
-                if decode_reqs:
+                if n_dec:
                     decode_s += dt
                     if last_decode_clock is not None:
                         max_decode_gap = max(max_decode_gap, clock - last_decode_clock)
@@ -958,12 +1096,76 @@ class ServingEngine:
 
                 step_preemptions = 0
                 tokens_this_step = 0
-                if fault is not None and fault.kind is FaultKind.KERNEL_FAULT:
+                # Vectorized fast path: legal when no fault fired, no
+                # request-abort lands this token, and the KV manager can
+                # grow every decoding sequence without preempting (its
+                # conservative precondition implies the scalar loop below
+                # would not preempt either — decisions are identical).
+                fast = False
+                if state is not None and fault is None:
+                    if n_dec == 0:
+                        fast = True
+                    elif not (
+                        abort_points
+                        and bool(np.any(
+                            state.gen[dec_idx] + 1 == state.abort_at[dec_idx]
+                        ))
+                    ):
+                        fast = self.kv.append_token_many(state.kv_row[dec_idx])
+                if fast:
+                    if chunk:
+                        prefill_req.prefill_progress += chunk
+                        state.set_prefill_progress(
+                            pf_i, prefill_req.prefill_progress
+                        )
+                        if prefill_req.prefill_progress >= prefill_req.prompt_len:
+                            prefill_req.phase = Phase.DECODE
+                            state.mark_decode(pf_i)
+                    if n_dec:
+                        state.advance(dec_idx)
+                        tokens_this_step = n_dec
+                        output_tokens += n_dec
+                        if tel is not None:
+                            tel.output_tokens.inc(n_dec)
+                        gen_now = state.gen[dec_idx]
+                        for i in dec_idx[gen_now == 1]:
+                            req = state.sync(int(i))
+                            req.first_token_time = clock
+                            if tel is not None:
+                                tel.on_first_token(req, clock)
+                            if rec is not None:
+                                rec.on_first_token(req, clock)
+                        finish_hits = dec_idx[gen_now >= state.max_new[dec_idx]]
+                        if finish_hits.size:
+                            for i in finish_hits:
+                                req = state.sync(int(i))
+                                req.phase = Phase.FINISHED
+                                req.finish_time = clock
+                                self.kv.free(req.request_id)
+                                committed_tokens -= req.total_len
+                                completed += 1
+                                if has_slos and not req.slo_met:
+                                    deadline_misses += 1
+                                    if tel is not None:
+                                        tel.deadline_misses.inc()
+                                if tel is not None:
+                                    tel.on_finish(req, clock)
+                                if rec is not None:
+                                    rec.on_finish(req, clock)
+                            state.remove(finish_hits)
+                elif fault is not None and fault.kind is FaultKind.KERNEL_FAULT:
                     # The step's results are discarded: the time is spent but
                     # no tokens land and no prefill progress is made; the
                     # engine retries the same work next iteration.
+                    if state is not None:
+                        state.sync_all()
                     still_running = list(running)
                 else:
+                    if state is not None:
+                        # Scalar fallback (fault / abort / KV-growth edge):
+                        # write the lazily-advanced counters back so the
+                        # object view the loop reads is accurate.
+                        state.sync_all()
                     if chunk:
                         prefill_req.prefill_progress += chunk
                         if prefill_req.prefill_progress >= prefill_req.prompt_len:
@@ -996,6 +1198,8 @@ class ServingEngine:
                             self.kv.free(victim.request_id)
                             committed_tokens -= victim.total_len
                             waiting.appendleft(victim)
+                            if has_slos:
+                                expiry.push(victim)
                             if tel is not None:
                                 tel.on_preempt(victim, clock)
                             if rec is not None:
@@ -1046,13 +1250,18 @@ class ServingEngine:
                                 rec.on_finish(req, clock)
                         else:
                             still_running.append(req)
+                if prof is not None:
+                    prof.lap("decode")
                 if tel is not None:
-                    tel.on_step(kind, dt, len(running))
+                    tel.on_step(kind, dt, n_run)
                 if rec is not None:
-                    rec.heartbeat(kind, dt, len(running), tokens_this_step, clock)
-                # A victim processed earlier in this step may linger in
-                # still_running with phase WAITING; drop it (it is queued).
-                running = [r for r in still_running if r.phase in _ACTIVE]
+                    rec.heartbeat(kind, dt, n_run, tokens_this_step, clock)
+                if prof is not None:
+                    prof.lap("heartbeat")
+                if not fast:
+                    # A victim processed earlier in this step may linger in
+                    # still_running with phase WAITING; drop it (it is queued).
+                    running = [r for r in still_running if r.phase in _ACTIVE]
 
                 if fault is not None and fault.kind is FaultKind.KV_LOSS and running:
                     # One running sequence's cache blocks are lost; the
@@ -1067,14 +1276,31 @@ class ServingEngine:
                     running = [r for r in running if r.phase in _ACTIVE]
 
                 if has_slos:
-                    for req in running:
-                        if clock > req.e2e_deadline:
-                            release_kv(req)
-                            expire(req, "e2e deadline expired mid-flight")
-                        elif req.generated == 0 and clock > req.ttft_deadline:
-                            release_kv(req)
-                            expire(req, "TTFT deadline expired")
-                    running = [r for r in running if r.phase in _ACTIVE]
+                    if fast:
+                        if len(running):
+                            e2e_hit = clock > state.e2e_dl
+                            hits = np.flatnonzero(
+                                e2e_hit
+                                | ((state.gen == 0) & (clock > state.ttft_dl))
+                            )
+                            if hits.size:
+                                for i in hits:
+                                    req = state.sync(int(i))
+                                    release_kv(req)
+                                    if e2e_hit[i]:
+                                        expire(req, "e2e deadline expired mid-flight")
+                                    else:
+                                        expire(req, "TTFT deadline expired")
+                                state.remove(hits)
+                    else:
+                        for req in running:
+                            if clock > req.e2e_deadline:
+                                release_kv(req)
+                                expire(req, "e2e deadline expired mid-flight")
+                            elif req.generated == 0 and clock > req.ttft_deadline:
+                                release_kv(req)
+                                expire(req, "TTFT deadline expired")
+                        running = [r for r in running if r.phase in _ACTIVE]
 
                 if self.config.degrade_under_pressure:
                     used = self.kv.num_blocks - self.kv.free_blocks
@@ -1106,8 +1332,27 @@ class ServingEngine:
                         degraded_steps += 1
                         if tel is not None:
                             tel.degraded_steps.inc()
+
+                if state is not None and not fast:
+                    # A scalar step restructured the batch arbitrarily
+                    # (preemptions, retries, arbitrary removals): re-mirror
+                    # it and restore the running <-> state.reqs alias.
+                    state.rebuild(
+                        running,
+                        [self.kv.sequence_row(r.request_id) for r in running],
+                        [
+                            (abort_points.get(r.request_id, -1)
+                             if abort_points and r.retries == 0 else -1)
+                            for r in running
+                        ],
+                    )
+                    running = state.reqs
+                if prof is not None:
+                    prof.lap("schedule")
             else:
                 raise RuntimeError("max_steps exceeded; raise EngineConfig.max_steps")
+            if rec is not None:
+                rec.flush()
 
         good_output_tokens = sum(
             r.generated
@@ -1137,6 +1382,7 @@ class ServingEngine:
             faults_injected=faults_injected,
             degraded_steps=degraded_steps,
             good_output_tokens=good_output_tokens,
+            engine_steps=compute_steps,
         )
 
     def _admit(self, req: Request, committed_tokens: int, capacity: int) -> bool:

@@ -10,25 +10,31 @@ Blocks are reference-counted, enabling vLLM-style *prefix caching*:
 :meth:`PagedKVManager.fork` lets a new sequence share a parent's full
 blocks (e.g. a common system prompt) and copy-on-write kicks in when a
 shared tail block must grow.
+
+Internally sequences live in a struct-of-arrays table: each sequence holds
+a *stable row* (recycled through a freelist, never compacted) whose token
+count and block-capacity live in numpy arrays.  That layout is what lets
+the serving engine grow the whole running batch in one vectorized call
+(:meth:`PagedKVManager.append_token_many`) and read pool utilization in
+O(1) from running counters instead of summing over sequences.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
 
 import repro.obs as obs
 
-__all__ = ["PagedKVManager", "KVAllocationError"]
+if TYPE_CHECKING:  # structural only: anything with .read() -> (K, V)
+    from repro.model.kvcache import LayerKVCache
+
+__all__ = ["PagedKVManager", "KVAllocationError", "gather_decode_batch"]
 
 
 class KVAllocationError(RuntimeError):
     """Raised when a sequence holds no allocation or double-allocates."""
-
-
-@dataclass
-class _Sequence:
-    blocks: list[int]
-    tokens: int
 
 
 class PagedKVManager:
@@ -53,8 +59,23 @@ class PagedKVManager:
         self.block_bytes = bytes_per_token * block_tokens
         self.num_blocks = int(total_bytes // self.block_bytes)
         self._free = list(range(self.num_blocks))
-        self._sequences: dict[int, _Sequence] = {}
-        self._refcount: dict[int, int] = {}
+        # Per-block reference counts, indexed by block id (0 == free).
+        # An array instead of a dict so allocate/free touch the whole
+        # block span of a sequence in one fancy-indexed operation.
+        self._rc = np.zeros(self.num_blocks, dtype=np.int32)
+        # Struct-of-arrays sequence table.  A sequence's row is *stable*
+        # for its lifetime (freelist recycling, no compaction), so callers
+        # may cache `sequence_row` and batch-index into the arrays.
+        self._row_of: dict[int, int] = {}
+        self._seq_at: list[int] = []
+        self._blocks_at: list[list[int] | None] = []
+        self._tokens = np.zeros(0, dtype=np.int64)
+        self._block_capacity = np.zeros(0, dtype=np.int64)
+        self._free_rows: list[int] = []
+        # Running aggregates: O(1) utilization / fragmentation.
+        self._total_tokens = 0
+        self._block_refs = 0  # sum of len(block table) over live sequences
+        self._shared_blocks = 0  # blocks with refcount > 1 (prefix sharing)
 
     # ------------------------------------------------------------------
     # Capacity queries
@@ -73,6 +94,13 @@ class PagedKVManager:
         """Total token slots in the pool."""
         return self.num_blocks * self.block_tokens
 
+    @property
+    def shared_blocks(self) -> int:
+        """Blocks currently referenced by more than one sequence.  Zero
+        means no copy-on-write can trigger, which is the precondition for
+        the vectorized :meth:`append_token_many` fast path."""
+        return self._shared_blocks
+
     def blocks_needed(self, tokens: int) -> int:
         return -(-tokens // self.block_tokens)
 
@@ -82,11 +110,9 @@ class PagedKVManager:
     def utilization(self) -> float:
         """Fraction of allocated token slots actually holding tokens —
         paging keeps this near 1 (internal fragmentation only)."""
-        allocated = sum(len(s.blocks) for s in self._sequences.values())
-        if allocated == 0:
+        if self._block_refs == 0:
             return 1.0
-        used = sum(s.tokens for s in self._sequences.values())
-        return used / (allocated * self.block_tokens)
+        return self._total_tokens / (self._block_refs * self.block_tokens)
 
     def fragmentation(self) -> float:
         """Fraction of allocated token slots wasted (internal
@@ -102,13 +128,13 @@ class PagedKVManager:
 
         Returns False (allocating nothing) when the pool is too full.
         """
-        if seq_id in self._sequences:
+        if seq_id in self._row_of:
             raise KVAllocationError(f"sequence {seq_id} already allocated")
         need = self.blocks_needed(max(tokens, 1))
         if need > self.free_blocks:
             return False
-        blocks = [self._take_block() for _ in range(need)]
-        self._sequences[seq_id] = _Sequence(blocks=blocks, tokens=tokens)
+        blocks = self._take_blocks(need)
+        self._install(seq_id, blocks, tokens)
         return True
 
     def fork(self, parent_id: int, child_id: int, shared_tokens: int | None = None) -> bool:
@@ -126,26 +152,31 @@ class PagedKVManager:
         Returns:
             False (allocating nothing) when the tail copy cannot fit.
         """
-        parent = self._sequences.get(parent_id)
-        if parent is None:
+        parent_row = self._row_of.get(parent_id)
+        if parent_row is None:
             raise KVAllocationError(f"sequence {parent_id} not allocated")
-        if child_id in self._sequences:
+        if child_id in self._row_of:
             raise KVAllocationError(f"sequence {child_id} already allocated")
-        shared = parent.tokens if shared_tokens is None else shared_tokens
-        if not 0 < shared <= parent.tokens:
+        parent_tokens = int(self._tokens[parent_row])
+        shared = parent_tokens if shared_tokens is None else shared_tokens
+        if not 0 < shared <= parent_tokens:
             raise ValueError(
-                f"shared_tokens must be in (0, {parent.tokens}], got {shared}"
+                f"shared_tokens must be in (0, {parent_tokens}], got {shared}"
             )
         full = shared // self.block_tokens
         tail_tokens = shared - full * self.block_tokens
         if tail_tokens and not self._free:
             return False
-        blocks = parent.blocks[:full]
-        for b in blocks:
-            self._refcount[b] += 1
+        parent_blocks = self._blocks_at[parent_row]
+        assert parent_blocks is not None
+        blocks = parent_blocks[:full]
+        if blocks:
+            idx = np.asarray(blocks, dtype=np.int64)
+            self._rc[idx] += 1
+            self._shared_blocks += int(np.count_nonzero(self._rc[idx] == 2))
         if tail_tokens:
             blocks = blocks + [self._take_block()]  # copy of the tail block
-        self._sequences[child_id] = _Sequence(blocks=list(blocks), tokens=shared)
+        self._install(child_id, list(blocks), shared)
         return True
 
     def append_token(self, seq_id: int) -> bool:
@@ -155,40 +186,129 @@ class PagedKVManager:
         False when the pool is exhausted (the caller must preempt or
         stall); the sequence is left unchanged in that case.
         """
-        seq = self._sequences.get(seq_id)
-        if seq is None:
+        row = self._row_of.get(seq_id)
+        if row is None:
             raise KVAllocationError(f"sequence {seq_id} not allocated")
-        if seq.tokens + 1 > len(seq.blocks) * self.block_tokens:
+        blocks = self._blocks_at[row]
+        assert blocks is not None
+        if self._tokens[row] + 1 > self._block_capacity[row] * self.block_tokens:
             if not self._free:
                 return False
-            seq.blocks.append(self._take_block())
-        elif seq.blocks and self._refcount[seq.blocks[-1]] > 1:
+            blocks.append(self._take_block())
+            self._block_capacity[row] += 1
+            self._block_refs += 1
+        elif blocks and self._rc[blocks[-1]] > 1:
             # Copy-on-write: the tail block is shared and about to change.
             if not self._free:
                 return False
-            old = seq.blocks[-1]
-            seq.blocks[-1] = self._take_block()
+            old = blocks[-1]
+            blocks[-1] = self._take_block()
             self._release_block(old)
             if obs.enabled():
                 obs.metrics().counter(
                     "serving.kv_cow_copies_total",
                     obs.metric_help("serving.kv_cow_copies_total"),
                 ).inc()
-        seq.tokens += 1
+        self._tokens[row] += 1
+        self._total_tokens += 1
+        return True
+
+    def append_token_many(self, rows: np.ndarray) -> bool:
+        """Grow every sequence in ``rows`` by one token, all-or-nothing.
+
+        The vectorized batch-decode fast path: ``rows`` is an array of
+        *stable rows* (from :meth:`sequence_row`, one per running decode
+        sequence — no duplicates).  Per-token python work is replaced by
+        two array compares and one fancy-indexed increment; python remains
+        only for the (rare) sequences crossing a block boundary this step.
+
+        Returns False **without mutating anything** when the fast path
+        cannot apply — some block is prefix-shared (copy-on-write might
+        trigger) or the free pool cannot cover every boundary crossing —
+        in which case the caller must fall back to per-sequence
+        :meth:`append_token` calls and its preemption logic.  On success
+        the pool state is bit-identical to that fallback loop.
+        """
+        if self._shared_blocks:
+            return False
+        need = self._tokens[rows] >= self._block_capacity[rows] * self.block_tokens
+        crossing = rows[need]
+        if crossing.size:
+            if crossing.size > len(self._free):
+                return False
+            for row in crossing:
+                blocks = self._blocks_at[row]
+                assert blocks is not None
+                blocks.append(self._take_block())
+            self._block_capacity[crossing] += 1
+            self._block_refs += int(crossing.size)
+        self._tokens[rows] += 1
+        self._total_tokens += int(rows.size)
         return True
 
     def free(self, seq_id: int) -> None:
         """Release a finished sequence's references; blocks return to the
         pool when their last reference drops."""
-        seq = self._sequences.pop(seq_id, None)
-        if seq is None:
+        row = self._row_of.pop(seq_id, None)
+        if row is None:
             raise KVAllocationError(f"sequence {seq_id} not allocated")
-        for b in seq.blocks:
-            self._release_block(b)
+        blocks = self._blocks_at[row]
+        assert blocks is not None
+        if blocks:
+            if self._shared_blocks == 0:
+                # No block anywhere is shared, so every refcount here is
+                # exactly 1: the whole table returns to the pool.
+                self._rc[blocks] = 0
+                self._free.extend(blocks)
+            else:
+                # Bulk release: one fancy-indexed decrement over the block
+                # table (no duplicates within one sequence), then return
+                # the zero-refcount blocks to the pool *in table order* —
+                # the exact free-list state the per-block loop would leave.
+                idx = np.asarray(blocks, dtype=np.int64)
+                self._rc[idx] -= 1
+                after = self._rc[idx]
+                self._shared_blocks -= int(np.count_nonzero(after == 1))
+                dead = after == 0
+                if dead.all():
+                    self._free.extend(blocks)
+                elif dead.any():
+                    self._free.extend(int(b) for b in idx[dead])
+        self._block_refs -= len(blocks)
+        self._total_tokens -= int(self._tokens[row])
+        self._blocks_at[row] = None
+        self._seq_at[row] = -1
+        self._tokens[row] = 0
+        self._block_capacity[row] = 0
+        self._free_rows.append(row)
+
+    def _install(self, seq_id: int, blocks: list[int], tokens: int) -> None:
+        """Bind a fresh sequence to a (recycled or new) stable row."""
+        if self._free_rows:
+            row = self._free_rows.pop()
+        else:
+            row = len(self._seq_at)
+            self._seq_at.append(-1)
+            self._blocks_at.append(None)
+            if row >= self._tokens.shape[0]:
+                grow = max(16, 2 * self._tokens.shape[0])
+                self._tokens = np.concatenate(
+                    [self._tokens, np.zeros(grow, dtype=np.int64)]
+                )
+                self._block_capacity = np.concatenate(
+                    [self._block_capacity, np.zeros(grow, dtype=np.int64)]
+                )
+        self._row_of[seq_id] = row
+        self._seq_at[row] = seq_id
+        self._blocks_at[row] = blocks
+        self._tokens[row] = tokens
+        self._block_capacity[row] = len(blocks)
+        self._total_tokens += tokens
+        self._block_refs += len(blocks)
 
     def _take_block(self) -> int:
         b = self._free.pop()
-        self._refcount[b] = 1
+        self._rc[b] = 1
         if obs.enabled():
             obs.metrics().counter(
                 "serving.kv_blocks_allocated_total",
@@ -196,33 +316,116 @@ class PagedKVManager:
             ).inc()
         return b
 
+    def _take_blocks(self, n: int) -> list[int]:
+        """Pop ``n`` blocks from the free list in one slice — same block
+        ids, same order, same end state as ``n`` :meth:`_take_block`
+        calls (the free list is LIFO, so the slice is reversed)."""
+        if n <= 0:
+            return []
+        blocks = self._free[: -n - 1 : -1]
+        del self._free[-n:]
+        self._rc[blocks] = 1
+        if obs.enabled():
+            obs.metrics().counter(
+                "serving.kv_blocks_allocated_total",
+                obs.metric_help("serving.kv_blocks_allocated_total"),
+            ).inc(n)
+        return blocks
+
     def _release_block(self, block: int) -> None:
-        self._refcount[block] -= 1
-        if self._refcount[block] == 0:
-            del self._refcount[block]
+        rc = self._rc[block] = self._rc[block] - 1
+        if rc == 1:
+            self._shared_blocks -= 1
+        elif rc == 0:
             self._free.append(block)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
 
     def live_sequences(self) -> list[int]:
         """Ids of sequences currently holding an allocation (sorted) —
         the fault injector's candidate set for KV-loss faults and the
         invariant tests' leak check."""
-        return sorted(self._sequences)
+        return sorted(self._row_of)
 
     def has_sequence(self, seq_id: int) -> bool:
-        return seq_id in self._sequences
+        return seq_id in self._row_of
+
+    def sequence_row(self, seq_id: int) -> int:
+        """The sequence's stable row in the internal SoA table — valid
+        until :meth:`free`, so batch callers may cache it and pass row
+        arrays to :meth:`append_token_many`."""
+        row = self._row_of.get(seq_id)
+        if row is None:
+            raise KVAllocationError(f"sequence {seq_id} not allocated")
+        return row
+
+    @property
+    def _refcount(self) -> dict[int, int]:
+        """Live per-block refcounts as a dict (introspection/leak checks;
+        the authoritative store is the ``_rc`` array)."""
+        live = np.flatnonzero(self._rc)
+        return {int(b): int(self._rc[b]) for b in live}
 
     def block_refcount(self, seq_id: int) -> list[int]:
         """Reference counts of a sequence's blocks (introspection)."""
-        seq = self._sequences.get(seq_id)
-        if seq is None:
-            raise KVAllocationError(f"sequence {seq_id} not allocated")
-        return [self._refcount[b] for b in seq.blocks]
+        blocks = self._blocks_at[self.sequence_row(seq_id)]
+        assert blocks is not None
+        return [int(self._rc[b]) for b in blocks]
+
+    def block_table(self, seq_id: int) -> list[int]:
+        """The sequence's physical block ids, in token order (a copy)."""
+        blocks = self._blocks_at[self.sequence_row(seq_id)]
+        assert blocks is not None
+        return list(blocks)
+
+    def batch_block_tables(
+        self, seq_ids: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked block tables for a batch of sequences.
+
+        Returns ``(tables, tokens)``: ``tables`` is an int32 array of shape
+        ``(batch, max_blocks)`` holding each sequence's physical block ids
+        padded with ``-1``, and ``tokens`` the int64 per-sequence token
+        counts.  This is the gather metadata a batched paged-attention
+        kernel consumes (vLLM's ``block_tables`` tensor).
+        """
+        rows = [self.sequence_row(s) for s in seq_ids]
+        counts = self._block_capacity[rows] if rows else np.zeros(0, np.int64)
+        width = int(counts.max()) if rows else 0
+        tables = np.full((len(rows), width), -1, dtype=np.int32)
+        for i, row in enumerate(rows):
+            blocks = self._blocks_at[row]
+            assert blocks is not None
+            tables[i, : len(blocks)] = blocks
+        return tables, self._tokens[rows].copy()
 
     def sequence_tokens(self, seq_id: int) -> int:
-        seq = self._sequences.get(seq_id)
-        if seq is None:
-            raise KVAllocationError(f"sequence {seq_id} not allocated")
-        return seq.tokens
+        return int(self._tokens[self.sequence_row(seq_id)])
 
     def sequence_bytes(self, seq_id: int) -> float:
         return self.sequence_tokens(seq_id) * self.bytes_per_token
+
+
+def gather_decode_batch(
+    caches: Mapping[int, "LayerKVCache"], seq_ids: Sequence[int]
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Gather the dequantized KV histories of a running batch.
+
+    ``caches`` maps sequence id to its per-layer quantized cache; each
+    read goes through the sealed-group dequant memo
+    (:meth:`repro.model.kvcache.LayerKVCache.read`), so a decode-step
+    gather costs O(new tokens) per sequence, not O(history).  The returned
+    ragged ``(keys, values)`` lists feed
+    :func:`repro.kernels.attention.batched_decode_attention` — one stacked
+    dequant+attention call for the whole batch (the arrays are read-only
+    memo views; valid until the next append).
+    """
+    keys: list[np.ndarray] = []
+    values: list[np.ndarray] = []
+    for sid in seq_ids:
+        k, v = caches[sid].read()
+        keys.append(k)
+        values.append(v)
+    return keys, values

@@ -1,0 +1,155 @@
+"""Property tests pinning the batched decode-attention contract.
+
+The serving tentpole gathers every running sequence's sealed KV4 blocks
+into ONE stacked dequant+attention call
+(:func:`repro.kernels.attention.batched_decode_attention`).  That is only
+legal because the batched kernel is **bit-identical** to running the same
+tiled kernel per request — these tests pin that equivalence over ragged
+histories, GQA grouping, and quantized (KV4) cache reads.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kvquant import KVQuantConfig
+from repro.kernels.attention import (
+    batched_decode_attention,
+    decode_attention_reference,
+    single_decode_attention,
+)
+from repro.model.kvcache import LayerKVCache
+from repro.serving.paged_kv import gather_decode_batch
+
+
+def _rand_batch(rng, batch, kv_heads, group, head_dim, max_len):
+    lengths = rng.integers(1, max_len + 1, size=batch)
+    q = rng.standard_normal(
+        (batch, kv_heads * group, head_dim), dtype=np.float32
+    )
+    keys = [
+        rng.standard_normal((int(t), kv_heads, head_dim), dtype=np.float32)
+        for t in lengths
+    ]
+    values = [
+        rng.standard_normal((int(t), kv_heads, head_dim), dtype=np.float32)
+        for t in lengths
+    ]
+    return q, keys, values
+
+
+class TestBatchedMatchesPerRequest:
+    """The acceptance property: batch-of-N == N batches-of-1, bitwise."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        batch=st.integers(1, 7),
+        kv_heads=st.integers(1, 3),
+        group=st.integers(1, 4),
+        head_dim=st.sampled_from([4, 8, 16]),
+        max_len=st.integers(1, 70),
+        split=st.sampled_from([8, 16, 32]),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_bit_identical_over_ragged_histories(
+        self, batch, kv_heads, group, head_dim, max_len, split, seed
+    ):
+        rng = np.random.default_rng(seed)
+        q, keys, values = _rand_batch(
+            rng, batch, kv_heads, group, head_dim, max_len
+        )
+        out = batched_decode_attention(q, keys, values, split_tokens=split)
+        for i in range(batch):
+            solo = single_decode_attention(
+                q[i], keys[i], values[i], split_tokens=split
+            )
+            np.testing.assert_array_equal(out[i], solo)
+
+    def test_bit_identical_after_history_truncation(self):
+        """Preemption/KV-loss recovery replays a shorter history: the
+        batched kernel must agree with per-request on the truncated
+        lengths, not just the originals."""
+        rng = np.random.default_rng(11)
+        q, keys, values = _rand_batch(rng, 5, 2, 2, 8, 64)
+        # Cut each history at an arbitrary point, as a retry replay would.
+        cuts = [1, 17, 16, 33, 50]
+        keys = [k[:c] for k, c in zip(keys, cuts)]
+        values = [v[:c] for v, c in zip(values, cuts)]
+        out = batched_decode_attention(q, keys, values, split_tokens=16)
+        for i in range(5):
+            np.testing.assert_array_equal(
+                out[i],
+                single_decode_attention(
+                    q[i], keys[i], values[i], split_tokens=16
+                ),
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        kv_heads=st.integers(1, 2),
+        group=st.integers(1, 4),
+        head_dim=st.sampled_from([4, 8]),
+        length=st.integers(1, 48),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_matches_full_softmax_reference(
+        self, kv_heads, group, head_dim, length, seed
+    ):
+        rng = np.random.default_rng(seed)
+        q, keys, values = _rand_batch(rng, 1, kv_heads, group, head_dim, 1)
+        keys = [rng.standard_normal((length, kv_heads, head_dim), dtype=np.float32)]
+        values = [rng.standard_normal((length, kv_heads, head_dim), dtype=np.float32)]
+        tiled = batched_decode_attention(q, keys, values, split_tokens=16)[0]
+        ref = decode_attention_reference(q[0], keys[0], values[0])
+        np.testing.assert_allclose(tiled, ref, rtol=1e-5, atol=1e-6)
+
+
+class TestQuantizedGatherPath:
+    """The serving-shaped path: KV4 caches -> gather -> batched kernel."""
+
+    def test_kv4_gather_batched_equals_per_sequence(self):
+        rng = np.random.default_rng(3)
+        kv_heads, head_dim, group = 2, 8, 2
+        cfg = KVQuantConfig(group_size=16)
+        caches = {}
+        lengths = {10: 7, 11: 33, 12: 64, 13: 17}
+        for sid, t in lengths.items():
+            cache = LayerKVCache(cfg)
+            cache.append(
+                rng.standard_normal((t, kv_heads, head_dim)).astype(np.float32),
+                rng.standard_normal((t, kv_heads, head_dim)).astype(np.float32),
+            )
+            caches[sid] = cache
+        seq_ids = sorted(lengths)
+        keys, values = gather_decode_batch(caches, seq_ids)
+        assert [k.shape[0] for k in keys] == [lengths[s] for s in seq_ids]
+        q = rng.standard_normal(
+            (len(seq_ids), kv_heads * group, head_dim)
+        ).astype(np.float32)
+        out = batched_decode_attention(q, keys, values, split_tokens=16)
+        for i, sid in enumerate(seq_ids):
+            k, v = caches[sid].read()
+            np.testing.assert_array_equal(
+                out[i], single_decode_attention(q[i], k, v, split_tokens=16)
+            )
+
+
+class TestInputValidation:
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ValueError):
+            batched_decode_attention(
+                np.zeros((0, 2, 4), dtype=np.float32), [], []
+            )
+
+    def test_rejects_mismatched_lists(self):
+        q = np.zeros((1, 2, 4), dtype=np.float32)
+        k = [np.zeros((3, 2, 4), dtype=np.float32)]
+        with pytest.raises(ValueError):
+            batched_decode_attention(q, k, [])
+
+    def test_rejects_non_float32(self):
+        q = np.zeros((1, 2, 4), dtype=np.float64)
+        k = [np.zeros((3, 2, 4), dtype=np.float32)]
+        with pytest.raises(ValueError):
+            batched_decode_attention(q, k, list(k))

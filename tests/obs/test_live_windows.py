@@ -144,3 +144,55 @@ class TestWindowSet:
         ws.sample("serving.batch_size", 4.0, 0.0)
         doc = ws.to_dict()
         assert doc["serving.batch_size"]["count"] == 1
+
+
+class TestReservoirExtend:
+    """`extend` must be exactly equivalent to pushing sample-by-sample —
+    the contract the engine's batched heartbeat flush relies on."""
+
+    @given(gaps=_gaps, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_extend_equals_sequential_push(self, gaps, data):
+        capacity = data.draw(st.integers(min_value=1, max_value=16))
+        values = data.draw(
+            st.lists(_values, min_size=len(gaps), max_size=len(gaps))
+        )
+        ts = np.cumsum(gaps)
+        vals = np.asarray(values, dtype=np.float64)
+
+        pushed = Reservoir(capacity)
+        for t, v in zip(ts, vals):
+            pushed.push(float(t), float(v))
+
+        extended = Reservoir(capacity)
+        # Split the stream into arbitrary chunks (including size 0/1).
+        cuts = sorted(data.draw(st.lists(
+            st.integers(min_value=0, max_value=len(ts)),
+            min_size=0, max_size=4,
+        )))
+        bounds = [0] + cuts + [len(ts)]
+        for lo, hi in zip(bounds, bounds[1:]):
+            extended.extend(ts[lo:hi], vals[lo:hi])
+
+        assert len(extended) == len(pushed)
+        assert extended.evictions == pushed.evictions
+        assert extended.pushed == pushed.pushed
+        assert extended.first_ts == pushed.first_ts
+        assert extended.last_ts == pushed.last_ts
+        np.testing.assert_array_equal(extended.values(), pushed.values())
+        now = float(ts[-1])
+        assert extended.stats(now=now) == pushed.stats(now=now)
+
+    def test_extend_longer_than_capacity_keeps_newest(self):
+        res = Reservoir(4)
+        ts = np.arange(1.0, 11.0)
+        vals = np.arange(10.0)
+        res.extend(ts, vals)
+        assert len(res) == 4
+        assert res.evictions == 6
+        np.testing.assert_array_equal(res.values(), vals[-4:])
+
+    def test_extend_empty_is_noop(self):
+        res = Reservoir(4)
+        res.extend(np.zeros(0), np.zeros(0))
+        assert len(res) == 0 and res.pushed == 0

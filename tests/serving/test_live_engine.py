@@ -160,3 +160,57 @@ class TestSnapshotExport:
         assert doc["live"]["steps"] == live.steps
         assert doc["live"]["slo"]["worst_state"] in ("warn", "critical")
         assert doc["live"]["flights"]["completed"] == len(live.flights)
+
+
+class TestHeartbeatBatch:
+    """`LiveObs.heartbeat_batch` must leave the same end state as the
+    equivalent sequence of per-step `heartbeat` calls — the engine's
+    batched flush path depends on it."""
+
+    METRICS = ("serving.step_seconds", "serving.batch_size")
+
+    def _feed(self, bundle, batched):
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        clocks = np.cumsum(rng.uniform(1e-3, 5e-3, size=100))
+        cols = {
+            name: rng.uniform(0.0, 10.0, size=100) for name in self.METRICS
+        }
+        if batched:
+            for lo, hi in ((0, 1), (1, 40), (40, 40), (40, 100)):
+                bundle.heartbeat_batch(
+                    clocks[lo:hi],
+                    {k: v[lo:hi] for k, v in cols.items()},
+                )
+        else:
+            for i in range(100):
+                bundle.heartbeat(
+                    float(clocks[i]),
+                    {k: float(v[i]) for k, v in cols.items()},
+                )
+
+    def test_end_state_matches_per_step_heartbeats(self):
+        import numpy as np
+
+        hooks = {True: [], False: []}
+        snaps = {}
+        for batched in (False, True):
+            bundle = live_obs.LiveObs(
+                window_seconds=0.2,
+                heartbeat_hook=lambda b, key=batched: hooks[key].append(
+                    (b.steps, b.clock)
+                ),
+                hook_every=7,
+            )
+            self._feed(bundle, batched)
+            snaps[batched] = bundle.snapshot()
+        assert hooks[True] == hooks[False]
+        assert snaps[True] == snaps[False]
+
+    def test_empty_batch_is_noop(self):
+        import numpy as np
+
+        bundle = live_obs.LiveObs()
+        bundle.heartbeat_batch(np.zeros(0), {})
+        assert bundle.steps == 0 and bundle.clock == 0.0

@@ -1,0 +1,354 @@
+"""Parity and regression tests for the vectorized engine step loop.
+
+``EngineConfig.vectorized=False`` keeps the original per-request scalar
+loops as the correctness oracle; every scenario here runs the same trace
+through both modes and requires the full :class:`ThroughputReport` (and
+every request's terminal state) to be **bit-identical**.  The scenarios
+deliberately cross the fast path's bail-out conditions: chunked prefill,
+optimistic admission with preemptions, transient/KV-loss/straggler/abort
+faults, SLO shedding, and graceful degradation.
+
+Also covered: the waiting-queue expiry fix (deadline sweep over the whole
+queue, not just the head) and units for the batch-state containers.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.model.config import get_model_config
+from repro.serving.batchstate import BatchState, DeadlineHeap, RetryHeap
+from repro.serving.engine import EngineConfig, ServingEngine
+from repro.serving.faults import FaultPlan
+from repro.serving.request import Phase, Request
+from repro.serving.stepprof import StepPhaseProfiler
+from repro.serving.systems import build_system
+from repro.serving.workload import make_overload_trace, make_poisson_trace
+
+
+@pytest.fixture(scope="module")
+def llama8b():
+    return get_model_config("llama-3-8b")
+
+
+# A small device keeps the overload scenarios short (the KV pool, not the
+# scenario shape, sets the step count); parity is pool-size independent.
+_SMALL_HBM = 20e9
+
+
+def _kv_capacity(llama8b):
+    eng = ServingEngine(
+        llama8b, build_system("comet"),
+        config=EngineConfig(hbm_bytes=_SMALL_HBM),
+    )
+    return eng.kv.token_capacity
+
+
+def _run_both(llama8b, trace_fn, faults=None, **cfg):
+    """Run the same trace through scalar and vectorized engines."""
+    outcomes = {}
+    for vectorized in (False, True):
+        engine = ServingEngine(
+            llama8b,
+            build_system("comet"),
+            config=EngineConfig(
+                vectorized=vectorized,
+                **{"hbm_bytes": _SMALL_HBM, **cfg},
+            ),
+        )
+        reqs = trace_fn()
+        report = engine.run(reqs, faults=faults)
+        outcomes[vectorized] = (report, reqs)
+    return outcomes
+
+
+def _assert_identical(outcomes):
+    scalar_rep, scalar_reqs = outcomes[False]
+    vec_rep, vec_reqs = outcomes[True]
+    assert asdict(vec_rep) == asdict(scalar_rep)
+    for s, v in zip(scalar_reqs, vec_reqs):
+        assert v.phase is s.phase, (v.request_id, v.phase, s.phase)
+        assert v.generated == s.generated
+        assert v.retries == s.retries
+        assert v.first_token_time == s.first_token_time
+        assert v.finish_time == s.finish_time
+        assert v.arrival_time == s.arrival_time
+
+
+class TestVectorizedParity:
+    """vectorized=True must be bit-identical to the scalar oracle."""
+
+    def test_poisson_trace(self, llama8b):
+        _assert_identical(_run_both(
+            llama8b,
+            lambda: make_poisson_trace(60, arrival_rate=64.0, seed=3),
+            max_batch=32,
+        ))
+
+    def test_chunked_prefill(self, llama8b):
+        _assert_identical(_run_both(
+            llama8b,
+            lambda: make_poisson_trace(80, arrival_rate=96.0, seed=5),
+            max_batch=24,
+            prefill_chunk_tokens=256,
+        ))
+
+    def test_optimistic_admission_preemptions(self, llama8b):
+        # A pool barely above the weights: optimistic admission
+        # overcommits within a few hundred steps and must preempt.
+        def trace():
+            return [
+                Request(i, prompt_len=900, max_new_tokens=900,
+                        arrival_time=0.0)
+                for i in range(10)
+            ]
+
+        outcomes = _run_both(
+            llama8b, trace,
+            hbm_bytes=4.8e9,  # ~11k-token KV pool
+            max_batch=16,
+            reserve_full_sequence=False,
+        )
+        _assert_identical(outcomes)
+        # The scenario must actually exercise the preemption path.
+        assert outcomes[True][0].preemptions > 0
+        assert outcomes[True][0].requests_completed == 10
+
+    def test_fault_chaos(self, llama8b):
+        faults = FaultPlan(
+            seed=7,
+            step_fault_rate=0.1,
+            kv_loss_rate=0.02,
+            straggler_rate=0.05,
+            request_abort_rate=0.1,
+        )
+        _assert_identical(_run_both(
+            llama8b,
+            lambda: make_poisson_trace(70, arrival_rate=80.0, seed=11),
+            faults=faults,
+            max_batch=24,
+        ))
+
+    def test_slo_overload_shedding(self, llama8b):
+        cap = _kv_capacity(llama8b)
+        _assert_identical(_run_both(
+            llama8b,
+            lambda: make_overload_trace(
+                60, cap, overload=4.0, ttft_slo=0.6, e2e_slo=4.0, seed=4
+            ),
+            max_batch=32,
+        ))
+
+    def test_kitchen_sink(self, llama8b):
+        cap = _kv_capacity(llama8b)
+        faults = FaultPlan(seed=3, step_fault_rate=0.06, kv_loss_rate=0.01)
+        _assert_identical(_run_both(
+            llama8b,
+            lambda: make_overload_trace(
+                80, cap, overload=3.0, ttft_slo=0.8, e2e_slo=5.0, seed=9
+            ),
+            faults=faults,
+            max_batch=24,
+            prefill_chunk_tokens=512,
+            degrade_under_pressure=True,
+        ))
+
+    def test_retry_backoff_shed_by_deadline_sweep(self, llama8b):
+        # Regression: a faulted request in retry backoff stays WAITING and
+        # its deadline-heap entry stays live, so the sweep can shed it
+        # first; the retry queue must lazily discard the now-terminal
+        # entry instead of expiring it a second time (which raised
+        # "request N already terminal").  Chunked prefill + TTFT SLOs +
+        # step faults is the deterministic trigger.
+        faults = FaultPlan(
+            seed=0,
+            step_fault_rate=0.1,
+            kv_loss_rate=0.02,
+            straggler_rate=0.05,
+            request_abort_rate=0.1,
+        )
+
+        def trace():
+            eng = ServingEngine(
+                llama8b, build_system("comet"),
+                config=EngineConfig(hbm_bytes=_SMALL_HBM),
+            )
+            return make_overload_trace(
+                12, eng.kv.token_capacity, overload=2.0, ttft_slo=0.5,
+                e2e_slo=None, seed=0,
+            )
+
+        outcomes = _run_both(
+            llama8b, trace, faults=faults,
+            max_batch=8, prefill_chunk_tokens=256,
+        )
+        _assert_identical(outcomes)
+        report, reqs = outcomes[True]
+        # The scenario must actually shed a backed-off retry.
+        assert any(
+            r.retries > 0 and r.phase is Phase.TIMED_OUT for r in reqs
+        )
+        assert report.requests_timed_out > 0
+
+    def test_profiler_phases_cover_every_step(self, llama8b):
+        engine = ServingEngine(
+            llama8b, build_system("comet"),
+            config=EngineConfig(max_batch=16, vectorized=True),
+        )
+        prof = StepPhaseProfiler()
+        report = engine.run(
+            make_poisson_trace(30, arrival_rate=64.0, seed=1), profiler=prof
+        )
+        assert prof.steps == report.engine_steps > 0
+        us = prof.per_step_us()
+        assert set(us) == {
+            "admit", "schedule", "model", "decode", "heartbeat",
+            "total", "overhead",
+        }
+        assert us["total"] >= us["overhead"] >= 0.0
+
+
+class TestWaitingQueueExpiry:
+    """Regression: expiry must sweep the whole queue, not just its head.
+
+    A request buried behind an unexpired head used to sit in the FIFO past
+    its deadline; the deadline heap now sheds it the step its deadline
+    passes, regardless of queue position.
+    """
+
+    def _engine(self, llama8b, vectorized):
+        return ServingEngine(
+            llama8b, build_system("comet"),
+            config=EngineConfig(max_batch=1, vectorized=vectorized),
+        )
+
+    @pytest.mark.parametrize("vectorized", [False, True])
+    def test_deep_queued_expired_request_is_shed(self, llama8b, vectorized):
+        # r0 occupies the only batch slot; r1 (queue head) has a lenient
+        # deadline; r2 sits BEHIND r1 with a deadline that lapses while
+        # r0 is still decoding.
+        r0 = Request(0, prompt_len=256, max_new_tokens=64, arrival_time=0.0)
+        r1 = Request(
+            1, prompt_len=64, max_new_tokens=8, arrival_time=0.0,
+            e2e_slo=1000.0,
+        )
+        r2 = Request(
+            2, prompt_len=64, max_new_tokens=8, arrival_time=0.0,
+            e2e_slo=1e-4,
+        )
+        report = self._engine(llama8b, vectorized).run([r0, r1, r2])
+        assert r2.phase is Phase.TIMED_OUT
+        assert r2.generated == 0  # shed from the queue, never admitted
+        assert r0.phase is Phase.FINISHED
+        assert r1.phase is Phase.FINISHED
+        assert report.requests_timed_out == 1
+        assert report.requests_completed == 2
+
+    @pytest.mark.parametrize("vectorized", [False, True])
+    def test_out_of_order_deadlines_shed_in_deadline_order(
+        self, llama8b, vectorized
+    ):
+        # Deadlines deliberately anti-ordered vs queue position.
+        blocker = Request(0, prompt_len=256, max_new_tokens=96,
+                          arrival_time=0.0)
+        queued = [
+            Request(i, prompt_len=64, max_new_tokens=8, arrival_time=0.0,
+                    e2e_slo=slo)
+            for i, slo in ((1, 3e-4), (2, 2e-4), (3, 1e-4))
+        ]
+        self._engine(llama8b, vectorized).run([blocker] + queued)
+        assert all(r.phase is Phase.TIMED_OUT for r in queued)
+        # time_out stamps finish_time with the shed clock: later deadline
+        # can never be shed before an earlier one.
+        times = [r.finish_time for r in reversed(queued)]
+        assert times == sorted(times)
+
+
+class TestBatchState:
+    def _req(self, i, gen=0):
+        r = Request(i, prompt_len=8, max_new_tokens=16)
+        r.phase = Phase.DECODE
+        r.generated = gen
+        return r
+
+    def test_add_advance_sync_roundtrip(self):
+        state = BatchState()
+        reqs = [self._req(i) for i in range(3)]
+        for i, r in enumerate(reqs):
+            state.add(r, kv_row=i, abort_at=-1)
+        assert state.reqs == reqs
+        import numpy as np
+
+        state.advance(np.array([0, 2]))
+        assert reqs[0].generated == 0  # arrays lead, objects lag
+        state.sync_all()
+        assert [r.generated for r in reqs] == [1, 0, 1]
+
+    def test_remove_keeps_alias_and_arrays_consistent(self):
+        import numpy as np
+
+        state = BatchState()
+        reqs = [self._req(i) for i in range(4)]
+        for i, r in enumerate(reqs):
+            state.add(r, kv_row=10 + i, abort_at=-1)
+        alias = state.reqs
+        state.remove(np.array([1, 3]))
+        assert state.reqs is alias  # in-place: engine's `running` alias
+        kept = {r.request_id for r in state.reqs}
+        assert kept == {0, 2}
+        rows = {int(state.kv_row[i]) for i in range(len(state.reqs))}
+        assert rows == {10, 12}
+
+    def test_grows_past_initial_capacity(self):
+        state = BatchState()
+        reqs = [self._req(i) for i in range(200)]
+        for i, r in enumerate(reqs):
+            state.add(r, kv_row=i, abort_at=-1)
+        assert len(state.reqs) == 200
+        assert int(state.ctx.sum()) == sum(r.context_len for r in reqs)
+
+
+class TestDeadlineHeap:
+    def test_expires_out_of_order_pushes(self):
+        heap = DeadlineHeap()
+        reqs = [
+            Request(i, prompt_len=4, max_new_tokens=4, e2e_slo=slo)
+            for i, slo in ((0, 0.5), (1, 0.1), (2, 0.3))
+        ]
+        for r in reqs:
+            heap.push(r)
+        expired = heap.expired(0.2)
+        assert [r.request_id for r in expired] == [1]
+        assert [r.request_id for r in heap.expired(1.0)] == [2, 0]
+
+    def test_skips_requests_without_deadlines(self):
+        heap = DeadlineHeap()
+        heap.push(Request(0, prompt_len=4, max_new_tokens=4))
+        assert len(heap) == 0
+
+    def test_lazy_deletion_of_terminal_entries(self):
+        heap = DeadlineHeap()
+        r = Request(0, prompt_len=4, max_new_tokens=4, e2e_slo=0.1)
+        heap.push(r)
+        r.time_out("test", 0.05)
+        assert heap.expired(1.0) == []
+
+
+class TestRetryHeap:
+    def test_pops_in_backoff_order(self):
+        heap = RetryHeap()
+        reqs = []
+        for i, nb in ((0, 0.3), (1, 0.1), (2, 0.2)):
+            r = Request(i, prompt_len=4, max_new_tokens=4)
+            r.not_before = nb
+            heap.push(r)
+            reqs.append(r)
+        assert heap.next_ready_time() == 0.1
+        assert heap.pop().request_id == 1
+        assert heap.peek().request_id == 2
+        assert bool(heap) and len(heap) == 2
+
+    def test_empty(self):
+        heap = RetryHeap()
+        assert not heap
+        assert heap.next_ready_time() == float("inf")
