@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test staticcheck staticcheck-json staticcheck-baseline lint bench-smoke bench-scale bench-scale-smoke live-obs-smoke
+.PHONY: test staticcheck staticcheck-json staticcheck-baseline lint bench-smoke bench-scale bench-scale-smoke live-obs-smoke validate-bench analyze-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -42,3 +42,16 @@ bench-scale-smoke:
 ## HTTP endpoints + SLO monitor + flight recorder over an overload run.
 live-obs-smoke:
 	$(PYTHON) benchmarks/live_obs_smoke.py
+
+## Schema gate for the canonical BENCH_serving.json trajectory document
+## (CI runs this right after the bench smoke).
+validate-bench:
+	$(PYTHON) benchmarks/validate_bench.py
+
+## Record an overload + chaos run with the cost ledger attached, then run
+## the post-hoc analyzer end to end (CI job: analyze-smoke).
+analyze-smoke:
+	$(PYTHON) -m repro.cli top --quiet --once --faults --requests 60 \
+		--emit-metrics benchmarks/results/attrib_smoke
+	$(PYTHON) -m repro.cli analyze benchmarks/results/attrib_smoke.json \
+		--top 5 --json benchmarks/results/attrib_analysis.json

@@ -194,8 +194,11 @@ def run_serving_bench(num_requests=48, max_batch=32):
     Unlike the wall-clock rows above, these numbers come from the engine's
     *simulated* clock, so they are bit-deterministic across machines —
     exactly what a cross-commit trajectory file wants.  Feeds the canonical
-    root-level ``BENCH_serving.json``.
+    root-level ``BENCH_serving.json``; each row carries the run's latency
+    ``attribution`` fractions (repro.obs.attrib cost ledger) so
+    ``repro.cli analyze --baseline`` can flag step-phase regressions.
     """
+    from repro.obs import live as live_obs
     from repro.serving.engine import EngineConfig, ServingEngine
     from repro.serving.metrics import LatencyReport
     from repro.serving.systems import build_system
@@ -213,7 +216,14 @@ def run_serving_bench(num_requests=48, max_batch=32):
             num_requests, arrival_rate=50.0, mean_prompt_len=64,
             mean_new_tokens=32, seed=3,
         )
-        report = engine.run(requests)
+        live = live_obs.attach(
+            window_seconds=1.0, attrib_capacity=num_requests
+        )
+        try:
+            report = engine.run(requests)
+        finally:
+            live_obs.detach()
+        attribution = live.attrib.aggregate()
         lat = LatencyReport.from_requests(requests)
         rows.append(
             {
@@ -225,6 +235,8 @@ def run_serving_bench(num_requests=48, max_batch=32):
                 "tpot_p99_ms": lat.tpot_p99 * 1e3,
                 "e2e_p99_s": lat.e2e_p99,
                 "e2e_max_s": lat.e2e_max,
+                "attribution": attribution["fractions"],
+                "attribution_dominant": attribution["dominant"],
             }
         )
     return rows

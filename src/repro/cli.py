@@ -10,7 +10,10 @@ Subcommands:
 * ``roofline``  — print the Figure 2 roofline points.
 * ``stats``     — exercise every instrumented layer and dump telemetry.
 * ``top``       — live dashboard over an overload run (windowed rates,
-  SLO burn, flight recorder), optionally serving the HTTP endpoints.
+  SLO burn, flight recorder), optionally serving the HTTP endpoints;
+  ``--json --once`` turns it into a one-shot machine-readable probe.
+* ``analyze``   — post-hoc latency attribution over a recorded snapshot:
+  critical-path breakdown, tail-latency explainer, baseline regressions.
 
 ``kernels``, ``serve``, and ``quantize`` accept ``--emit-metrics PATH`` to
 enable the telemetry subsystem (:mod:`repro.obs`) for the run and write a
@@ -50,16 +53,17 @@ def _begin_metrics(args: argparse.Namespace) -> str | None:
     return path
 
 
-def _end_metrics(path: str | None) -> None:
+def _end_metrics(path: str | None, quiet: bool = False) -> None:
     if not path:
         return
     from repro.obs.snapshot import write_snapshot
 
     written = write_snapshot(path)
-    print(
-        "telemetry snapshot: "
-        + ", ".join(str(written[k]) for k in ("prometheus", "json", "trace"))
-    )
+    if not quiet:
+        print(
+            "telemetry snapshot: "
+            + ", ".join(str(written[k]) for k in ("prometheus", "json", "trace"))
+        )
 
 
 def _add_emit_metrics(p: argparse.ArgumentParser) -> None:
@@ -243,7 +247,12 @@ def _cmd_top(args: argparse.Namespace) -> int:
     layer (:mod:`repro.obs.live`) attached, re-rendering the terminal view
     every ``--refresh`` heartbeats; ``--http-port`` additionally serves the
     ``/metrics`` / ``/healthz`` / ``/slo`` / ``/requests`` endpoints while
-    the run progresses."""
+    the run progresses.  ``--once`` skips the intermediate frames and
+    ``--json [PATH|-]`` emits the machine-readable end state (live
+    snapshot incl. attribution + report + final SLO) for scripting."""
+    import dataclasses
+    import json as _json
+
     import repro.obs as obs
     from repro.obs import live as live_obs
     from repro.serving.faults import FaultPlan
@@ -275,6 +284,8 @@ def _cmd_top(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
 
+    json_to_stdout = args.json == "-"
+
     def render_frame(bundle: "live_obs.LiveObs") -> None:
         if not args.quiet:
             print(bundle.render())
@@ -282,7 +293,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
 
     live = live_obs.attach(
         window_seconds=args.window,
-        heartbeat_hook=render_frame,
+        heartbeat_hook=None if args.once else render_frame,
         hook_every=args.refresh,
     )
     server = None
@@ -291,7 +302,9 @@ def _cmd_top(args: argparse.Namespace) -> int:
             from repro.obs.live.httpd import LiveHTTPServer
 
             server = LiveHTTPServer(live=live, port=args.http_port)
-            print(f"live endpoints at {server.start()}")
+            url = server.start()
+            if not json_to_stdout:
+                print(f"live endpoints at {url}")
         plan = None
         if args.faults:
             plan = FaultPlan(
@@ -302,21 +315,99 @@ def _cmd_top(args: argparse.Namespace) -> int:
                 request_abort_rate=0.1,
             )
         report = engine.run(requests, faults=plan)
-        print(live.render())
-        print()
-        print(report.summary())
         slo = live.slo.snapshot(now=live.clock)
-        print(f"SLO final: {slo['state']} (worst {slo['worst_state']}, "
-              f"burn {slo['burn_rate']:.2f}) | "
-              f"flight records {len(live.flights)} "
-              f"({len(live.flights.failures())} failures)")
-        _end_metrics(metrics_path)
+        if not json_to_stdout:
+            print(live.render())
+            print()
+            print(report.summary())
+            print(f"SLO final: {slo['state']} (worst {slo['worst_state']}, "
+                  f"burn {slo['burn_rate']:.2f}) | "
+                  f"flight records {len(live.flights)} "
+                  f"({len(live.flights.failures())} failures)")
+        _end_metrics(metrics_path, quiet=json_to_stdout)
+        if args.json is not None:
+            doc = {
+                "snapshot": live.snapshot(),
+                "report": {
+                    **dataclasses.asdict(report),
+                    "throughput": report.throughput,
+                    "goodput": report.goodput,
+                },
+                "slo_final": slo,
+            }
+            text = _json.dumps(doc, indent=2, sort_keys=True)
+            if json_to_stdout:
+                print(text)
+            else:
+                with open(args.json, "w") as fh:
+                    fh.write(text + "\n")
+                if not args.quiet:
+                    print(f"json snapshot written to {args.json}")
     finally:
         if server is not None:
             server.stop()
         live_obs.detach()
         if not metrics_path:
             obs.disable()
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Post-hoc trace analyzer: read a recorded ``--emit-metrics`` snapshot
+    (PATH.json) and explain where the run's latency went — critical-path
+    breakdown, tail-latency explainer, optional baseline regression diff
+    (see docs/observability.md, "Latency attribution")."""
+    import json as _json
+    from pathlib import Path
+
+    from repro.obs.attrib import analyze_snapshot, render_analysis
+
+    path = Path(args.snapshot)
+    if path.suffix != ".json":
+        # A bare `--emit-metrics PATH` prefix: the JSON document lives at
+        # PATH.json (PATH itself is the Prometheus text exposition).
+        candidate = path.with_name(path.name + ".json")
+        if candidate.exists():
+            path = candidate
+    if not path.exists():
+        print(f"analyze: snapshot {args.snapshot!r} not found",
+              file=sys.stderr)
+        return 2
+    doc = _json.loads(path.read_text())
+
+    baseline_doc = None
+    if args.baseline is not None:
+        baseline_doc = _json.loads(Path(args.baseline).read_text())
+
+    trace_doc = None
+    trace_path = (
+        Path(args.trace) if args.trace is not None
+        else path.with_suffix("").with_name(
+            path.with_suffix("").name + ".trace.json"
+        )
+    )
+    if trace_path.exists():
+        try:
+            trace_doc = _json.loads(trace_path.read_text())
+        except ValueError:
+            trace_doc = None  # tolerate a torn/partial trace file
+
+    try:
+        result = analyze_snapshot(
+            doc, top=args.top, baseline_doc=baseline_doc,
+            threshold=args.threshold, trace_doc=trace_doc,
+        )
+    except ValueError as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return 2
+    print(render_analysis(result))
+    if args.json is not None:
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            _json.dumps(result, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"analysis written to {out}")
     return 0
 
 
@@ -617,8 +708,44 @@ def build_parser() -> argparse.ArgumentParser:
                         "port while the run progresses (0 = ephemeral)")
     p.add_argument("--quiet", action="store_true",
                    help="print only the final dashboard frame")
+    p.add_argument("--once", action="store_true",
+                   help="one-shot mode: skip the intermediate dashboard "
+                        "frames entirely (implies a single final view)")
+    p.add_argument("--json", nargs="?", const="-", default=None,
+                   metavar="PATH",
+                   help="emit the machine-readable end state (live "
+                        "snapshot incl. attribution + report + final SLO) "
+                        "to PATH, or stdout when no PATH / '-' is given "
+                        "(suppresses the human-readable output)")
     _add_emit_metrics(p)
     p.set_defaults(func=_cmd_top)
+
+    p = sub.add_parser(
+        "analyze",
+        help="post-hoc latency attribution over a recorded snapshot",
+        description="Read an `--emit-metrics` run's PATH.json snapshot "
+                    "(its live.attrib cost-ledger section) and print the "
+                    "critical-path breakdown, the tail-latency explainer "
+                    "(top-k slowest requests vs the p50 profile), and — "
+                    "with --baseline — step-phase regressions against a "
+                    "committed BENCH_serving.json.",
+    )
+    p.add_argument("snapshot", help="snapshot JSON path (PATH.json from "
+                                    "--emit-metrics PATH; bare PATH works)")
+    p.add_argument("--top", type=int, default=5,
+                   help="slowest requests to explain (default 5)")
+    p.add_argument("--baseline", default=None, metavar="BENCH_JSON",
+                   help="committed BENCH_serving.json to diff attribution "
+                        "fractions against")
+    p.add_argument("--threshold", type=float, default=0.10,
+                   help="absolute fraction shift flagged as a regression "
+                        "(default 0.10)")
+    p.add_argument("--trace", default=None, metavar="TRACE_JSON",
+                   help="chrome trace (PATH.trace.json) for the step-kind "
+                        "mix; auto-discovered next to the snapshot")
+    p.add_argument("--json", default=None, metavar="OUT",
+                   help="also write the full analysis document to OUT")
+    p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("quantize", help="quantize a tiny zoo model")
     p.add_argument("--zoo-model", default="tiny-llama-1")

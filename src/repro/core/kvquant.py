@@ -312,6 +312,13 @@ class QuantizedKVCache:
                     "kvcache.groups_dequant_cached_misses_total",
                     instrument.metric_help("kvcache.groups_dequant_cached_misses_total"),
                 ).inc(misses)
+            if hits or misses:
+                # Live-window sample of the memo's cache economics — routed
+                # through the instrument seam (core never imports repro.obs)
+                # and dropped on the floor unless a live bundle is attached.
+                instrument.sample(
+                    "kvcache.dequant_memo_hit_rate", hits / (hits + misses)
+                )
 
     def _write_tail(self) -> None:
         """(Re)dequantize the pending tail with provisional parameters."""

@@ -1,0 +1,713 @@
+"""Per-request latency attribution and KV-cache economics (the cost ledger).
+
+COMET's end-to-end claim is that W4A4KV4 turns *memory* savings into batch
+size and throughput.  The live layer (PR 5/6) can say that p99 moved; this
+module says **why**: every request's e2e latency is attributed across
+
+* ``queue``     — waiting before (re-)admission, including retry backoff,
+* ``prefill.*`` — steps taken before the request's first token, and
+* ``decode.*``  — steps taken after it,
+
+where each in-flight step is split into kernel-level components:
+
+* ``gemm``       — the linear-stack pass the request shared,
+* ``attention``  — the attention pass (minus the KV-streaming carve-out),
+* ``kv_dequant`` — the KV4-history streaming/dequant portion of decode
+  attention (COMET Figure 2's memory-bound term — the part W4A4KV4 shrinks),
+* ``overhead``   — framework overhead + straggler stall of the step,
+* ``stall``      — time the request sat admitted but not computing (e.g.
+  a chunked-prefill request waiting for its chunk turn, or decoders parked
+  behind a serialized whole-prompt prefill: the paper's decode gap).
+
+Accounting discipline (how the sum-to-e2e invariant holds):
+
+* The engine charges the ledger **before** advancing request state, so every
+  lifecycle transition (finish, preemption, retry, mid-flight expiry) is a
+  settle-at-current-clock operation with zero residual.
+* Queue time accrues lazily at transitions: admission and close settle the
+  span since the request last went inactive.
+* While admitted, every clock advance lands exactly once per request —
+  either as a compute component or as ``stall`` — so for every completed
+  request ``queue + sum(components) == e2e`` up to float accumulation.
+
+The ledger also tracks per-request **KV economics** (blocks held over time,
+peak, shared-vs-exclusive blocks under prefix forking) and carries the
+pool-level summary (refcount distribution, free-list fragmentation) the
+engine deposits at end of run.
+
+Everything here is duck-typed over plain floats/ints and numpy — no
+serving imports (layering) and no wall clock or RNG (determinism: this
+file is in the staticcheck DET scope).
+"""
+
+from __future__ import annotations
+
+from threading import Lock
+from typing import Callable, Iterable
+
+import numpy as np
+
+__all__ = [
+    "COMPONENTS",
+    "CostLedger",
+    "critical_path",
+    "tail_explainer",
+    "compare_baseline",
+    "analyze_trace",
+    "analyze_snapshot",
+    "render_analysis",
+]
+
+#: Kernel-level components a step is split into, per phase bucket.
+COMPONENTS = ("gemm", "attention", "kv_dequant", "overhead", "stall")
+
+#: Attribution keys of a completed-request record, flattened.
+ATTRIBUTION_KEYS = ("queue",) + COMPONENTS
+
+# Column layout of the per-row component matrix: queue, then the five
+# components for the prefill bucket, then the five for decode.
+_QUEUE = 0
+_PF_BASE = 1
+_DEC_BASE = 6
+_N_COLS = 11
+_STALL_OFF = 4  # offset of "stall" within a bucket
+
+# Row states.
+_FREE = 0
+_WAITING = 1  # tracked but not admitted (queued / backing off)
+_ACTIVE = 2   # admitted: holds KV, participates in step charges
+
+
+class CostLedger:
+    """Growable SoA ledger of per-request latency + KV-economics accounts.
+
+    Lifecycle methods mirror the engine's request transitions; charge
+    methods distribute one step's simulated time over the admitted rows.
+    Completed requests move to a bounded FIFO ring of plain-dict records
+    (the analyzer's input).  Thread-safe: the HTTP exporter snapshots
+    while the engine writes.
+    """
+
+    def __init__(self, capacity: int = 512):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._lock = Lock()
+        n = 64
+        self._comp = np.zeros((n, _N_COLS), dtype=np.float64)
+        self._state = np.zeros(n, dtype=np.int8)
+        self._decoding = np.zeros(n, dtype=bool)
+        self._first_tokened = np.zeros(n, dtype=bool)
+        self._req_id = np.full(n, -1, dtype=np.int64)
+        self._kv_row = np.full(n, -1, dtype=np.int64)
+        self._arrival = np.zeros(n, dtype=np.float64)
+        self._inactive_since = np.zeros(n, dtype=np.float64)
+        self._kv_admit = np.zeros(n, dtype=np.int64)
+        self._kv_peak = np.zeros(n, dtype=np.int64)
+        self._kv_last = np.zeros(n, dtype=np.int64)
+        self._kv_shared = np.zeros(n, dtype=np.int64)
+        self._block_sec = np.zeros(n, dtype=np.float64)
+        self._free: list[int] = list(range(n - 1, -1, -1))
+        self._by_id: dict[int, int] = {}
+        self._completed: list[dict] = []
+        self._evicted = 0
+        self._pool: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._by_id) + len(self._completed)
+
+    # ------------------------------------------------------------------
+    # row management
+
+    def _grow(self) -> None:
+        old = self._state.shape[0]
+        new = old * 2
+        self._comp = np.vstack(
+            [self._comp, np.zeros((old, _N_COLS), dtype=np.float64)]
+        )
+        for name, fill in (
+            ("_state", 0), ("_decoding", False), ("_first_tokened", False),
+            ("_req_id", -1), ("_kv_row", -1), ("_arrival", 0.0),
+            ("_inactive_since", 0.0), ("_kv_admit", 0), ("_kv_peak", 0),
+            ("_kv_last", 0), ("_kv_shared", 0), ("_block_sec", 0.0),
+        ):
+            arr = getattr(self, name)
+            ext = np.full(old, fill, dtype=arr.dtype)
+            setattr(self, name, np.concatenate([arr, ext]))
+        self._free.extend(range(new - 1, old - 1, -1))
+
+    def _alloc(self, request_id: int) -> int:
+        if not self._free:
+            self._grow()
+        row = self._free.pop()
+        self._comp[row, :] = 0.0
+        self._state[row] = _WAITING
+        self._decoding[row] = False
+        self._first_tokened[row] = False
+        self._req_id[row] = request_id
+        self._kv_row[row] = -1
+        self._kv_admit[row] = 0
+        self._kv_peak[row] = 0
+        self._kv_last[row] = 0
+        self._kv_shared[row] = 0
+        self._block_sec[row] = 0.0
+        self._by_id[request_id] = row
+        return row
+
+    # ------------------------------------------------------------------
+    # lifecycle (engine transitions)
+
+    def queued(self, request_id: int, arrival_time: float) -> None:
+        """Start tracking a request (idempotent: re-queues are no-ops)."""
+        with self._lock:
+            if request_id in self._by_id:
+                return
+            row = self._alloc(request_id)
+            self._arrival[row] = arrival_time
+            self._inactive_since[row] = arrival_time
+
+    def admitted(
+        self,
+        request_id: int,
+        ts: float,
+        kv_row: int = -1,
+        kv_blocks: int = 0,
+        shared_blocks: int = 0,
+    ) -> None:
+        """Settle queue time and activate the row (holds KV from now)."""
+        with self._lock:
+            row = self._by_id.get(request_id)
+            if row is None:
+                return
+            if self._state[row] == _WAITING:
+                self._comp[row, _QUEUE] += ts - self._inactive_since[row]
+            self._state[row] = _ACTIVE
+            self._kv_row[row] = kv_row
+            if self._kv_admit[row] == 0:
+                self._kv_admit[row] = kv_blocks
+            self._kv_last[row] = kv_blocks
+            self._kv_peak[row] = max(int(self._kv_peak[row]), kv_blocks)
+            self._kv_shared[row] = max(
+                int(self._kv_shared[row]), shared_blocks
+            )
+
+    def prefill_done(self, request_id: int) -> None:
+        """The request finished its prompt: it decodes from the next step."""
+        with self._lock:
+            row = self._by_id.get(request_id)
+            if row is not None:
+                self._decoding[row] = True
+
+    def first_token(self, request_id: int) -> None:
+        """First output token landed: later charges go to the decode
+        bucket.  Sticky across retries (recompute re-runs prefill, but the
+        user already saw a token — mirrors the flight recorder)."""
+        with self._lock:
+            row = self._by_id.get(request_id)
+            if row is not None:
+                self._first_tokened[row] = True
+
+    def requeued(self, request_id: int, ts: float) -> None:
+        """Back to the queue (retry backoff / preemption): KV released,
+        prefill restarts; time until re-admission accrues as queue."""
+        with self._lock:
+            row = self._by_id.get(request_id)
+            if row is None:
+                return
+            self._state[row] = _WAITING
+            self._decoding[row] = False
+            self._kv_row[row] = -1
+            self._inactive_since[row] = ts
+
+    def close(self, request_id: int, ts: float, outcome: str) -> dict | None:
+        """Settle and retire a request; returns its completed record."""
+        with self._lock:
+            row = self._by_id.pop(request_id, None)
+            if row is None:
+                return None
+            if self._state[row] == _WAITING:
+                self._comp[row, _QUEUE] += ts - self._inactive_since[row]
+            comp = self._comp[row]
+            prefill = {
+                name: float(comp[_PF_BASE + k])
+                for k, name in enumerate(COMPONENTS)
+            }
+            decode = {
+                name: float(comp[_DEC_BASE + k])
+                for k, name in enumerate(COMPONENTS)
+            }
+            queue = float(comp[_QUEUE])
+            record = {
+                "request_id": int(request_id),
+                "outcome": outcome,
+                "arrival_time": float(self._arrival[row]),
+                "end_time": float(ts),
+                "e2e_seconds": float(ts - self._arrival[row]),
+                "queue_seconds": queue,
+                "prefill": prefill,
+                "decode": decode,
+                "attributed_seconds": queue
+                + sum(prefill.values())
+                + sum(decode.values()),
+                "kv": {
+                    "blocks_admitted": int(self._kv_admit[row]),
+                    "blocks_peak": int(self._kv_peak[row]),
+                    "blocks_final": int(self._kv_last[row]),
+                    "shared_blocks": int(self._kv_shared[row]),
+                    "block_seconds": float(self._block_sec[row]),
+                },
+            }
+            self._state[row] = _FREE
+            self._req_id[row] = -1
+            self._free.append(row)
+            self._completed.append(record)
+            if len(self._completed) > self.capacity:
+                drop = len(self._completed) - self.capacity
+                del self._completed[:drop]
+                self._evicted += drop
+            return record
+
+    # ------------------------------------------------------------------
+    # step charges (called once per engine iteration, pre-advancement)
+
+    def _charge(
+        self,
+        participants: np.ndarray,
+        idle: np.ndarray,
+        dt: float,
+        gemm: float,
+        attention: float,
+        kv_dequant: float,
+        overhead: float,
+        blocks_of_rows: Callable[[np.ndarray], np.ndarray] | None,
+        active: np.ndarray,
+    ) -> None:
+        comp = self._comp
+        if participants.size:
+            base = np.where(
+                self._first_tokened[participants], _DEC_BASE, _PF_BASE
+            )
+            comp[participants, base] += gemm
+            comp[participants, base + 1] += attention
+            comp[participants, base + 2] += kv_dequant
+            comp[participants, base + 3] += overhead
+        if idle.size:
+            base = np.where(self._first_tokened[idle], _DEC_BASE, _PF_BASE)
+            comp[idle, base + _STALL_OFF] += dt
+        if blocks_of_rows is not None and active.size:
+            blocks = np.asarray(
+                blocks_of_rows(self._kv_row[active]), dtype=np.int64
+            )
+            self._block_sec[active] += blocks * dt
+            self._kv_peak[active] = np.maximum(self._kv_peak[active], blocks)
+            self._kv_last[active] = blocks
+
+    def step_cost(
+        self,
+        dt: float,
+        gemm: float,
+        attention: float,
+        kv_dequant: float,
+        overhead: float,
+        prefill_id: int = -1,
+        blocks_of_rows: Callable[[np.ndarray], np.ndarray] | None = None,
+    ) -> None:
+        """Charge one continuous-batching iteration: every decoding row
+        plus the active prefill chunk's owner shares the step's kernel
+        components in full (they ride the same fused pass); admitted rows
+        waiting for their chunk turn stall."""
+        with self._lock:
+            active = np.flatnonzero(self._state == _ACTIVE)
+            if active.size == 0:
+                return
+            part = self._decoding[active].copy()
+            if prefill_id >= 0:
+                row = self._by_id.get(prefill_id)
+                if row is not None:
+                    part |= active == row
+            self._charge(
+                active[part], active[~part], dt, gemm, attention,
+                kv_dequant, overhead, blocks_of_rows, active,
+            )
+
+    def prefill_cost(
+        self,
+        request_id: int,
+        dt: float,
+        gemm: float,
+        attention: float,
+        overhead: float,
+        blocks_of_rows: Callable[[np.ndarray], np.ndarray] | None = None,
+    ) -> None:
+        """Charge a serialized whole-prompt prefill: only the prefilling
+        request computes; every other admitted row stalls for the full
+        duration (the decode gap chunked prefill exists to close)."""
+        with self._lock:
+            active = np.flatnonzero(self._state == _ACTIVE)
+            if active.size == 0:
+                return
+            row = self._by_id.get(request_id)
+            part = active == row if row is not None else np.zeros(
+                active.size, dtype=bool
+            )
+            self._charge(
+                active[part], active[~part], dt, gemm, attention,
+                0.0, overhead, blocks_of_rows, active,
+            )
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def set_pool_summary(self, pool: dict) -> None:
+        """Deposit the end-of-run KV pool summary (refcount distribution,
+        fragmentation, ...) the engine computes once at finalize."""
+        with self._lock:
+            self._pool = dict(pool)
+
+    def request(self, request_id: int) -> dict | None:
+        """Attribution for one request: in-flight running totals for a
+        live row, the full record for a completed one (newest wins)."""
+        with self._lock:
+            row = self._by_id.get(request_id)
+            if row is not None:
+                comp = self._comp[row]
+                return {
+                    "request_id": int(request_id),
+                    "outcome": "in_flight",
+                    "queue_seconds": float(comp[_QUEUE]),
+                    "prefill": {
+                        name: float(comp[_PF_BASE + k])
+                        for k, name in enumerate(COMPONENTS)
+                    },
+                    "decode": {
+                        name: float(comp[_DEC_BASE + k])
+                        for k, name in enumerate(COMPONENTS)
+                    },
+                    "kv": {
+                        "blocks_admitted": int(self._kv_admit[row]),
+                        "blocks_peak": int(self._kv_peak[row]),
+                        "blocks_final": int(self._kv_last[row]),
+                        "shared_blocks": int(self._kv_shared[row]),
+                        "block_seconds": float(self._block_sec[row]),
+                    },
+                }
+            for record in reversed(self._completed):
+                if record["request_id"] == request_id:
+                    return record
+            return None
+
+    def completed(self) -> list[dict]:
+        """Completed-request records, oldest first (bounded ring)."""
+        with self._lock:
+            return list(self._completed)
+
+    def active_ids(self) -> list[int]:
+        with self._lock:
+            return sorted(self._by_id)
+
+    def aggregate(self) -> dict:
+        """Fleet-level attribution over the retained completed records:
+        the fraction of total attributed time spent in each component
+        (the ``attribution`` column of ``BENCH_serving.json`` rows)."""
+        records = self.completed()
+        fractions = {name: 0.0 for name in ATTRIBUTION_KEYS}
+        if not records:
+            return {
+                "requests": 0,
+                "e2e_mean_s": 0.0,
+                "fractions": fractions,
+                "phase_fractions": {
+                    "queue": 0.0, "prefill": 0.0, "decode": 0.0
+                },
+                "dominant": "",
+            }
+        totals = dict(fractions)
+        phase_totals = {"queue": 0.0, "prefill": 0.0, "decode": 0.0}
+        e2e = 0.0
+        for record in records:
+            e2e += record["e2e_seconds"]
+            totals["queue"] += record["queue_seconds"]
+            phase_totals["queue"] += record["queue_seconds"]
+            for bucket in ("prefill", "decode"):
+                for name, value in record[bucket].items():
+                    totals[name] += value
+                    phase_totals[bucket] += value
+        grand = sum(totals.values())
+        if grand > 0.0:
+            fractions = {k: v / grand for k, v in totals.items()}
+            phase_fractions = {k: v / grand for k, v in phase_totals.items()}
+        else:
+            phase_fractions = dict(phase_totals)
+        dominant = max(fractions, key=lambda k: fractions[k])
+        return {
+            "requests": len(records),
+            "e2e_mean_s": e2e / len(records),
+            "fractions": fractions,
+            "phase_fractions": phase_fractions,
+            "dominant": dominant,
+        }
+
+    def snapshot(self) -> dict:
+        """JSON-ready state: served at ``/attribution`` and embedded in
+        ``obs.write_snapshot``'s ``live.attrib`` key (the analyzer input)."""
+        with self._lock:
+            active = len(self._by_id)
+            completed = len(self._completed)
+            evicted = self._evicted
+            pool = dict(self._pool)
+            records = list(self._completed)
+        return {
+            "capacity": self.capacity,
+            "active": active,
+            "completed": completed,
+            "evicted": evicted,
+            "aggregate": self.aggregate(),
+            "pool": pool,
+            "records": records,
+        }
+
+
+# ----------------------------------------------------------------------
+# post-hoc analysis (repro.cli analyze)
+
+
+def _flatten(record: dict) -> dict[str, float]:
+    """One completed record -> flat {path: seconds} over queue +
+    per-bucket components (keys like ``decode.gemm``)."""
+    flat = {"queue": record["queue_seconds"]}
+    for bucket in ("prefill", "decode"):
+        for name, value in record[bucket].items():
+            flat[f"{bucket}.{name}"] = value
+    return flat
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+def critical_path(records: Iterable[dict]) -> dict:
+    """Mean/percentile breakdown of where completed requests spent their
+    time, ordered by mean seconds: the fleet's critical path."""
+    records = list(records)
+    if not records:
+        return {"requests": 0, "path": [], "dominant": ""}
+    keys = sorted(_flatten(records[0]))
+    columns: dict[str, list[float]] = {k: [] for k in keys}
+    e2e = []
+    for record in records:
+        flat = _flatten(record)
+        for k in keys:
+            columns[k].append(flat.get(k, 0.0))
+        e2e.append(record["e2e_seconds"])
+    total_mean = sum(sum(v) / len(records) for v in columns.values())
+    path = []
+    for k in keys:
+        vals = columns[k]
+        mean = sum(vals) / len(vals)
+        path.append({
+            "name": k,
+            "mean_s": mean,
+            "p50_s": _percentile(vals, 50),
+            "p99_s": _percentile(vals, 99),
+            "fraction": mean / total_mean if total_mean > 0 else 0.0,
+        })
+    path.sort(key=lambda e: e["mean_s"], reverse=True)
+    return {
+        "requests": len(records),
+        "e2e_mean_s": sum(e2e) / len(e2e),
+        "e2e_p99_s": _percentile(e2e, 99),
+        "path": path,
+        "dominant": path[0]["name"] if path else "",
+    }
+
+
+def tail_explainer(records: Iterable[dict], top: int = 5) -> dict:
+    """Top-k slowest completed requests with per-phase deltas against the
+    fleet's p50 profile: *which* component made the tail slow."""
+    records = list(records)
+    if not records:
+        return {"p50_profile": {}, "slowest": []}
+    keys = sorted(_flatten(records[0]))
+    p50 = {
+        k: _percentile([_flatten(r).get(k, 0.0) for r in records], 50)
+        for k in keys
+    }
+    slowest = sorted(
+        records, key=lambda r: r["e2e_seconds"], reverse=True
+    )[:top]
+    out = []
+    for record in slowest:
+        flat = _flatten(record)
+        deltas = {k: flat.get(k, 0.0) - p50[k] for k in keys}
+        blame = max(deltas, key=lambda k: deltas[k])
+        out.append({
+            "request_id": record["request_id"],
+            "outcome": record["outcome"],
+            "e2e_seconds": record["e2e_seconds"],
+            "phases": flat,
+            "delta_vs_p50": deltas,
+            "blame": blame,
+            "blame_delta_s": deltas[blame],
+            "kv": record.get("kv", {}),
+        })
+    return {"p50_profile": p50, "slowest": out}
+
+
+def compare_baseline(
+    aggregate: dict, baseline_doc: dict, threshold: float = 0.10
+) -> list[dict]:
+    """Compare this run's attribution fractions against the committed
+    ``BENCH_serving.json`` rows; a component whose share moved by more
+    than ``threshold`` (absolute) is flagged as a step-phase regression."""
+    current = aggregate.get("fractions", {})
+    deltas = []
+    benchmarks = baseline_doc.get("benchmarks", {})
+    for bench_name, payload in sorted(benchmarks.items()):
+        for row in payload.get("rows", []):
+            attribution = row.get("attribution")
+            if not isinstance(attribution, dict):
+                continue
+            for name in sorted(attribution):
+                if name not in current:
+                    continue
+                delta = current[name] - attribution[name]
+                deltas.append({
+                    "benchmark": bench_name,
+                    "system": row.get("system", ""),
+                    "component": name,
+                    "baseline_frac": attribution[name],
+                    "current_frac": current[name],
+                    "delta": delta,
+                    "regressed": abs(delta) > threshold,
+                })
+    return deltas
+
+
+def analyze_trace(trace_doc: dict) -> dict:
+    """Group a chrome-trace export's ``engine.step`` spans by step kind:
+    simulated/wall seconds per kind, the step-mix view of the run."""
+    kinds: dict[str, dict[str, float]] = {}
+    for event in trace_doc.get("traceEvents", []):
+        if event.get("name") != "engine.step" or "dur" not in event:
+            continue
+        kind = str(event.get("args", {}).get("kind", "unknown"))
+        slot = kinds.setdefault(kind, {"count": 0, "seconds": 0.0})
+        slot["count"] += 1
+        # chrome traces are in microseconds
+        sim = event.get("args", {}).get("sim_seconds")
+        slot["seconds"] += (
+            float(sim) if sim is not None else event["dur"] / 1e6
+        )
+    return {"step_kinds": kinds}
+
+
+def analyze_snapshot(
+    doc: dict,
+    top: int = 5,
+    baseline_doc: dict | None = None,
+    threshold: float = 0.10,
+    trace_doc: dict | None = None,
+) -> dict:
+    """Full post-hoc analysis of one ``obs.write_snapshot`` JSON document
+    (its ``live.attrib`` key must be present and hold completed records)."""
+    attrib = doc.get("live", {}).get("attrib")
+    if not attrib:
+        raise ValueError(
+            "snapshot has no live.attrib section - was the run recorded "
+            "with the live observability layer attached?"
+        )
+    records = attrib.get("records", [])
+    if not records:
+        raise ValueError(
+            "snapshot's cost ledger holds no completed requests"
+        )
+    result = {
+        "requests": len(records),
+        "evicted": attrib.get("evicted", 0),
+        "aggregate": attrib.get("aggregate", {}),
+        "critical_path": critical_path(records),
+        "tail": tail_explainer(records, top=top),
+        "pool": attrib.get("pool", {}),
+    }
+    if baseline_doc is not None:
+        result["baseline_deltas"] = compare_baseline(
+            result["aggregate"], baseline_doc, threshold=threshold
+        )
+    if trace_doc is not None:
+        result["trace"] = analyze_trace(trace_doc)
+    return result
+
+
+def render_analysis(result: dict) -> str:
+    """Human-readable report of :func:`analyze_snapshot`'s output."""
+    lines = []
+    cp = result["critical_path"]
+    lines.append(
+        f"critical path over {cp['requests']} requests "
+        f"(e2e mean {cp['e2e_mean_s'] * 1e3:.1f} ms, "
+        f"p99 {cp['e2e_p99_s'] * 1e3:.1f} ms)"
+    )
+    header = (
+        f"  {'component':18s} {'mean ms':>10s} {'p50 ms':>10s} "
+        f"{'p99 ms':>10s} {'share':>7s}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for entry in cp["path"]:
+        lines.append(
+            f"  {entry['name']:18s} {entry['mean_s'] * 1e3:>10.3f} "
+            f"{entry['p50_s'] * 1e3:>10.3f} {entry['p99_s'] * 1e3:>10.3f} "
+            f"{entry['fraction']:>6.1%}"
+        )
+    lines.append(f"  dominant: {cp['dominant']}")
+    tail = result.get("tail", {})
+    if tail.get("slowest"):
+        lines.append("")
+        lines.append(f"tail latency: top {len(tail['slowest'])} slowest")
+        for entry in tail["slowest"]:
+            lines.append(
+                f"  req {entry['request_id']:>5d} [{entry['outcome']}] "
+                f"e2e {entry['e2e_seconds'] * 1e3:.1f} ms - blame "
+                f"{entry['blame']} (+{entry['blame_delta_s'] * 1e3:.1f} ms "
+                f"vs p50)"
+            )
+    pool = result.get("pool") or {}
+    if pool:
+        lines.append("")
+        lines.append(
+            "kv pool: "
+            + ", ".join(f"{k}={pool[k]}" for k in sorted(pool))
+        )
+    deltas = result.get("baseline_deltas")
+    if deltas is not None:
+        regressed = [d for d in deltas if d["regressed"]]
+        lines.append("")
+        if regressed:
+            lines.append(
+                f"baseline comparison: {len(regressed)} component "
+                "share(s) moved beyond threshold"
+            )
+            for d in regressed:
+                lines.append(
+                    f"  {d['benchmark']}/{d['system']} {d['component']}: "
+                    f"{d['baseline_frac']:.1%} -> {d['current_frac']:.1%} "
+                    f"({d['delta']:+.1%})"
+                )
+        else:
+            lines.append(
+                "baseline comparison: no component share moved beyond "
+                "threshold"
+            )
+    trace = result.get("trace")
+    if trace:
+        lines.append("")
+        lines.append("step mix (from chrome trace):")
+        for kind in sorted(trace["step_kinds"]):
+            slot = trace["step_kinds"][kind]
+            lines.append(
+                f"  {kind:8s} {int(slot['count']):>6d} steps "
+                f"{slot['seconds'] * 1e3:>10.1f} ms"
+            )
+    return "\n".join(lines)

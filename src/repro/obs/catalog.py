@@ -133,6 +133,27 @@ METRIC_CATALOG: dict[str, tuple[str, str]] = {
     "serving.flightrecorder_evictions_total": (
         "counter", "Completed flight records evicted from the bounded "
         "ring (FIFO, oldest first)."),
+    # --------------------------------------------- latency attribution /
+    # KV economics (repro.obs.attrib feeds; see docs/observability.md,
+    # "Latency attribution")
+    "serving.kv_shared_blocks": (
+        "gauge", "KV blocks referenced by more than one sequence "
+        "(prefix sharing) at the step's clock."),
+    "serving.kv_freelist_frag": (
+        "gauge", "Free-list scatter of the paged-KV pool "
+        "(1 - longest contiguous free run / free blocks)."),
+    "serving.step_gemm_seconds": (
+        "histogram", "Per-step simulated time in the fused linear-stack "
+        "GEMM pass."),
+    "serving.step_attention_seconds": (
+        "histogram", "Per-step simulated time in attention (including "
+        "the KV-dequant carve-out below)."),
+    "serving.step_kv_dequant_seconds": (
+        "histogram", "Per-step simulated time streaming/dequantizing the "
+        "KV4 history (the memory-bound share W4A4KV4 shrinks)."),
+    "kvcache.dequant_memo_hit_rate": (
+        "gauge", "Sealed-group dequant-memo hit rate of one materialize "
+        "call (cache economics of repeated KV4 reads)."),
 }
 
 #: Span naming follows the same layer prefixes; the conventional names are

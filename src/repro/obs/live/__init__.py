@@ -36,6 +36,7 @@ from threading import Lock
 from typing import Callable
 
 import repro.obs as obs
+from repro.obs.attrib import CostLedger
 from repro.obs.live.flightrecorder import FlightRecord, FlightRecorder
 from repro.obs.live.httpd import LiveHTTPServer
 from repro.obs.live.slo import (
@@ -47,6 +48,7 @@ from repro.obs.live.windows import Reservoir, WindowSet, WindowStats
 
 __all__ = [
     "LiveObs",
+    "CostLedger",
     "attach",
     "detach",
     "active",
@@ -69,6 +71,8 @@ class LiveObs:
         windows: sliding-window reservoirs keyed by catalog metric name.
         flights: the per-request flight recorder.
         slo: the streaming SLO burn-rate monitor.
+        attrib: the per-request cost ledger (latency attribution + KV
+            economics, :mod:`repro.obs.attrib`).
         steps: heartbeats seen so far.
         clock: simulated time of the latest heartbeat.
     """
@@ -78,6 +82,7 @@ class LiveObs:
         window_seconds: float = 1.0,
         window_samples: int = 1024,
         flight_capacity: int = 256,
+        attrib_capacity: int = 512,
         slo_policy: SLOPolicy | None = None,
         heartbeat_hook: Callable[["LiveObs"], None] | None = None,
         hook_every: int = 1,
@@ -89,6 +94,7 @@ class LiveObs:
         )
         self.flights = FlightRecorder(capacity=flight_capacity)
         self.slo = SLOMonitor(policy=slo_policy)
+        self.attrib = CostLedger(capacity=attrib_capacity)
         self.steps = 0
         self.clock = 0.0
         self._hook = heartbeat_hook
@@ -190,6 +196,7 @@ class LiveObs:
             "slo": self.slo.snapshot(now=self.clock),
             "flights": self.flights.summary(),
             "failures": [r.request_id for r in self.flights.failures()],
+            "attrib": self.attrib.snapshot(),
         }
 
     def render(self) -> str:

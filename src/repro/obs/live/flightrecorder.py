@@ -112,6 +112,11 @@ class FlightRecord:
             "prefill_seconds": self.prefill_seconds,
             "decode_seconds": self.decode_seconds,
             "e2e_seconds": self.e2e_seconds,
+            "phases": {
+                "queue": self.queue_seconds,
+                "prefill": self.prefill_seconds,
+                "decode": self.decode_seconds,
+            },
             "retries": self.retries,
             "preemptions": self.preemptions,
             "faults": self.faults,
@@ -184,7 +189,7 @@ class FlightRecorder:
             rec = self._ensure(request_id)
             if rec.first_token_time is None:
                 rec.first_token_time = ts
-            rec.note(ts, "first_token")
+            rec.note(ts, "first_token", ttft=ts - rec.arrival_time)
 
     def preempted(self, request_id: int, ts: float, lost_tokens: int = 0) -> None:
         with self._lock:
@@ -229,7 +234,10 @@ class FlightRecorder:
             rec.end_time = ts
             rec.generated = generated
             rec.slo_met = slo_met
-            rec.note(ts, outcome, reason=reason)
+            rec.note(
+                ts, outcome, reason=reason, generated=generated,
+                e2e=ts - rec.arrival_time,
+            )
             self._completed.append(rec)
             self._by_id[request_id] = rec
             while len(self._completed) > self.capacity:

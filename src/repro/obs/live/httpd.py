@@ -12,7 +12,10 @@ Serves the live-observability surface the way a production LLM server
 * ``GET /windows``        — sliding-window aggregates per metric;
 * ``GET /requests``       — flight-recorder index (active/completed ids);
 * ``GET /requests/<id>``  — one request's full flight record (timeline,
-  phase timings, retries, faults, KV blocks), 404 when unknown.
+  phase timings, retries, faults, KV blocks) merged with its cost-ledger
+  attribution; a structured 404 JSON body when unknown/evicted;
+* ``GET /attribution``    — the cost-ledger snapshot: fleet attribution
+  aggregate, per-request records, KV pool economics (repro.obs.attrib).
 
 The server runs on a daemon thread (`ThreadingHTTPServer`), binds an
 ephemeral port by default, and reads engine state only through the
@@ -42,7 +45,8 @@ ROUTES: dict[str, str] = {
     "/slo": "SLO burn-rate snapshot and degradation events",
     "/windows": "sliding-window aggregates per metric",
     "/requests": "flight-recorder index",
-    "/requests/<id>": "one request's flight record",
+    "/requests/<id>": "one request's flight record + attribution",
+    "/attribution": "cost-ledger snapshot (latency attribution + KV economics)",
 }
 
 
@@ -103,6 +107,10 @@ class _Handler(BaseHTTPRequestHandler):
             live = self._need_live()
             if live is not None:
                 self._request_detail(live, path[len("/requests/"):])
+        elif path == "/attribution":
+            live = self._need_live()
+            if live is not None:
+                self._send_json(200, live.attrib.snapshot())
         elif path == "/":
             self._send_json(200, {"endpoints": ROUTES})
         else:
@@ -148,11 +156,19 @@ class _Handler(BaseHTTPRequestHandler):
         if rec is None:
             self._send_json(
                 404,
-                {"error": f"request {request_id} not tracked (evicted or "
-                          "never seen)"},
+                {
+                    "error": f"request {request_id} not tracked (evicted "
+                             "or never seen)",
+                    "request_id": request_id,
+                    "active": live.flights.active_ids(),
+                    "completed": len(live.flights),
+                    "hint": "GET /requests lists tracked ids",
+                },
             )
             return
-        self._send_json(200, rec.to_dict())
+        doc = rec.to_dict()
+        doc["attribution"] = live.attrib.request(request_id)
+        self._send_json(200, doc)
 
 
 class LiveHTTPServer:

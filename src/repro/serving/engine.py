@@ -36,7 +36,11 @@ import numpy as np
 import repro.obs as obs
 from repro.obs import live as live_obs
 from repro.gpu.spec import A100_80G_SXM4, GPUSpec
-from repro.kernels.attention import DECODE_ATTENTION, PREFILL_ATTENTION
+from repro.kernels.attention import (
+    DECODE_ATTENTION,
+    PREFILL_ATTENTION,
+    kv_stream_seconds,
+)
 from repro.kernels.tiling import GEMMShape
 from repro.model.config import ModelConfig
 from repro.serving.batchstate import BatchState, DeadlineHeap, RetryHeap
@@ -362,6 +366,12 @@ class _LiveHooks:
     lifecycle event so sample/record ordering inside the live layer is
     identical to unbuffered per-step feeding, and :meth:`flush` drains the
     tail at the end of a run.
+
+    The bundle's cost ledger (:class:`repro.obs.attrib.CostLedger`) is fed
+    alongside: lifecycle hooks mirror the request transitions, and the
+    engine charges each iteration's kernel components *before* advancing
+    request state, so every transition settles at the current clock and
+    the per-request components sum to e2e.
     """
 
     #: Heartbeats buffered before a bulk hand-off to the live layer.
@@ -370,7 +380,8 @@ class _LiveHooks:
     def __init__(self, live: live_obs.LiveObs, kv: PagedKVManager):
         self._live = live
         self._kv = kv
-        self._hb = np.zeros((self.FLUSH_EVERY, 6), dtype=np.float64)
+        self._attrib = live.attrib
+        self._hb = np.zeros((self.FLUSH_EVERY, 11), dtype=np.float64)
         self._hb_n = 0
 
     def flush(self) -> None:
@@ -386,6 +397,11 @@ class _LiveHooks:
             "serving.output_tokens_total": buf[:n, 3],
             "serving.kv_utilization": buf[:n, 4],
             "serving.kv_free_blocks": buf[:n, 5],
+            "serving.kv_shared_blocks": buf[:n, 6],
+            "serving.kv_freelist_frag": buf[:n, 7],
+            "serving.step_gemm_seconds": buf[:n, 8],
+            "serving.step_attention_seconds": buf[:n, 9],
+            "serving.step_kv_dequant_seconds": buf[:n, 10],
         })
 
     def _record_queued(self, req: Request) -> None:
@@ -407,10 +423,18 @@ class _LiveHooks:
             req.request_id, clock,
             kv_blocks=self._kv.blocks_needed(req.prompt_len),
         )
+        self._attrib.queued(req.request_id, req.arrival_time)
+        self._attrib.admitted(
+            req.request_id, clock,
+            kv_row=self._kv.sequence_row(req.request_id),
+            kv_blocks=self._kv.blocks_needed(req.prompt_len),
+            shared_blocks=self._kv.sequence_shared_blocks(req.request_id),
+        )
 
     def on_first_token(self, req: Request, clock: float) -> None:
         self.flush()
         self._live.flights.first_token(req.request_id, clock)
+        self._attrib.first_token(req.request_id)
         self._live.sample(
             "serving.ttft_seconds", clock - req.arrival_time, clock
         )
@@ -425,6 +449,7 @@ class _LiveHooks:
             generated=req.generated,
             slo_met=req.slo_met if has_slo else None,
         )
+        self._attrib.close(req.request_id, clock, "finished")
         self._live.sample(
             "serving.tpot_seconds",
             (req.finish_time - req.first_token_time)
@@ -442,6 +467,7 @@ class _LiveHooks:
     def on_preempt(self, req: Request, clock: float) -> None:
         self.flush()
         self._live.flights.preempted(req.request_id, clock)
+        self._attrib.requeued(req.request_id, clock)
 
     def on_reject(self, req: Request, clock: float) -> None:
         self.flush()
@@ -450,12 +476,15 @@ class _LiveHooks:
             req.request_id, clock, outcome="rejected",
             reason=req.failure_reason,
         )
+        self._attrib.queued(req.request_id, req.arrival_time)
+        self._attrib.close(req.request_id, clock, "rejected")
 
     def on_retry(self, req: Request, clock: float, reason: str) -> None:
         self.flush()
         self._live.flights.retry(
             req.request_id, clock, reason=reason, attempt=req.retries
         )
+        self._attrib.requeued(req.request_id, clock)
 
     def on_fail(self, req: Request, clock: float) -> None:
         self.flush()
@@ -464,6 +493,8 @@ class _LiveHooks:
             req.request_id, clock, outcome="failed",
             reason=req.failure_reason, generated=req.generated,
         )
+        self._attrib.queued(req.request_id, req.arrival_time)
+        self._attrib.close(req.request_id, clock, "failed")
         if self._has_slo(req):
             self._live.slo.record(clock, met=False, request_id=req.request_id)
 
@@ -475,6 +506,8 @@ class _LiveHooks:
             reason=req.failure_reason, generated=req.generated,
             slo_met=False,
         )
+        self._attrib.queued(req.request_id, req.arrival_time)
+        self._attrib.close(req.request_id, clock, "timed_out")
         # Timeouts only happen to requests with deadlines configured.
         self._live.slo.record(clock, met=False, request_id=req.request_id)
 
@@ -483,7 +516,8 @@ class _LiveHooks:
         self._live.flights.fault(req.request_id, clock, kind=kind)
 
     def heartbeat(
-        self, kind: str, dt: float, batch: int, tokens: int, clock: float
+        self, kind: str, dt: float, batch: int, tokens: int, clock: float,
+        gemm: float = 0.0, attn: float = 0.0, kv_dq: float = 0.0,
     ) -> None:
         """Buffer one engine iteration's worth of sliding-window samples
         (KV gauges are snapshotted now, at the step's own clock)."""
@@ -494,9 +528,55 @@ class _LiveHooks:
         row[3] = float(tokens)
         row[4] = self._kv.utilization()
         row[5] = float(self._kv.free_blocks)
+        row[6] = float(self._kv.shared_blocks)
+        row[7] = self._kv.freelist_fragmentation()
+        row[8] = gemm
+        row[9] = attn
+        row[10] = kv_dq
         self._hb_n += 1
         if self._hb_n == self.FLUSH_EVERY:
             self.flush()
+
+    def on_prefill_done(self, req: Request) -> None:
+        """The request's prompt completed this step: from the next charge
+        it computes as a decoder (bucket flips at first token)."""
+        self._attrib.prefill_done(req.request_id)
+
+    def on_step_cost(
+        self, dt: float, gemm: float, attn: float, kv_dq: float,
+        overhead: float, prefill_id: int,
+    ) -> None:
+        """Charge one continuous-batching iteration to the cost ledger
+        (called pre-advancement, at the step's end clock)."""
+        self._attrib.step_cost(
+            dt, gemm, attn, kv_dq, overhead,
+            prefill_id=prefill_id,
+            blocks_of_rows=self._kv.blocks_of_rows,
+        )
+
+    def on_prefill_cost(
+        self, req: Request, dt: float, gemm: float, attn: float,
+        overhead: float,
+    ) -> None:
+        """Charge a serialized whole-prompt prefill: every other admitted
+        request stalls for the full duration (the decode gap)."""
+        self._attrib.prefill_cost(
+            req.request_id, dt, gemm, attn, overhead,
+            blocks_of_rows=self._kv.blocks_of_rows,
+        )
+        self._attrib.prefill_done(req.request_id)
+
+    def finalize(self) -> None:
+        """End of run: drain the heartbeat tail and deposit the KV pool's
+        economics summary (computed once — not per step) in the ledger."""
+        self.flush()
+        self._attrib.set_pool_summary({
+            "free_blocks": self._kv.free_blocks,
+            "used_blocks": self._kv.used_blocks,
+            "shared_blocks": self._kv.shared_blocks,
+            "freelist_fragmentation": self._kv.freelist_fragmentation(),
+            "refcount_distribution": self._kv.refcount_distribution(),
+        })
 
 
 class ServingEngine:
@@ -887,15 +967,24 @@ class ServingEngine:
                     )
                 clock += dt
                 prefill_s += dt
-                gemm_s += self.linear_stack_latency(req.prompt_len)
-                attn_s += self.prefill_attention_time(req.prompt_len)
+                pf_gemm = self.linear_stack_latency(req.prompt_len)
+                pf_attn = self.prefill_attention_time(req.prompt_len)
+                gemm_s += pf_gemm
+                attn_s += pf_attn
                 overhead_s += self.config.step_overhead
+                if rec is not None:
+                    # Charge before the phase flip below is observable:
+                    # running decoders stalled for this whole prefill.
+                    rec.on_prefill_cost(
+                        req, dt, pf_gemm, pf_attn,
+                        self.config.step_overhead,
+                    )
                 req.prefill_progress = req.prompt_len
                 req.phase = Phase.DECODE
                 if tel is not None:
                     tel.on_step("prefill", dt, 1)
                 if rec is not None:
-                    rec.heartbeat("prefill", dt, 1, 0, clock)
+                    rec.heartbeat("prefill", dt, 1, 0, clock, pf_gemm, pf_attn)
             add_running(req)
 
         with run_span:
@@ -1049,6 +1138,7 @@ class ServingEngine:
                     attn = 0.0
                     if n_dec:
                         attn += self.decode_attention_time(dec_context, n_dec)
+                    attn_dec = attn
                     if chunk:
                         attn += self._chunk_attention_time(
                             chunk, prefill_req.prefill_progress
@@ -1084,6 +1174,26 @@ class ServingEngine:
                     last_decode_clock = clock
                 else:
                     prefill_s += dt
+
+                kv_dq = 0.0
+                if rec is not None:
+                    # Cost ledger: charge the step before any request state
+                    # advances, so every transition below settles at this
+                    # clock.  The KV-dequant carve-out is the history-
+                    # streaming floor of decode attention (kernels/attention
+                    # kv_stream_seconds), capped by the attention time the
+                    # kernel actually took.
+                    if n_dec:
+                        kv_dq = min(attn_dec, kv_stream_seconds(
+                            dec_context,
+                            self._kv_bytes_per_token_per_gpu,
+                            self.spec.hbm_bandwidth,
+                        ))
+                    rec.on_step_cost(
+                        dt, gemm, attn - kv_dq, kv_dq, dt - gemm - attn,
+                        prefill_req.request_id
+                        if (prefill_req is not None and chunk) else -1,
+                    )
 
                 if fault is not None:
                     faults_injected += 1
@@ -1121,6 +1231,8 @@ class ServingEngine:
                         if prefill_req.prefill_progress >= prefill_req.prompt_len:
                             prefill_req.phase = Phase.DECODE
                             state.mark_decode(pf_i)
+                            if rec is not None:
+                                rec.on_prefill_done(prefill_req)
                     if n_dec:
                         state.advance(dec_idx)
                         tokens_this_step = n_dec
@@ -1170,6 +1282,8 @@ class ServingEngine:
                         prefill_req.prefill_progress += chunk
                         if prefill_req.prefill_progress >= prefill_req.prompt_len:
                             prefill_req.phase = Phase.DECODE
+                            if rec is not None:
+                                rec.on_prefill_done(prefill_req)
 
                     still_running = []
                     for req in running:
@@ -1255,7 +1369,10 @@ class ServingEngine:
                 if tel is not None:
                     tel.on_step(kind, dt, n_run)
                 if rec is not None:
-                    rec.heartbeat(kind, dt, n_run, tokens_this_step, clock)
+                    rec.heartbeat(
+                        kind, dt, n_run, tokens_this_step, clock,
+                        gemm, attn, kv_dq,
+                    )
                 if prof is not None:
                     prof.lap("heartbeat")
                 if not fast:
@@ -1352,7 +1469,7 @@ class ServingEngine:
             else:
                 raise RuntimeError("max_steps exceeded; raise EngineConfig.max_steps")
             if rec is not None:
-                rec.flush()
+                rec.finalize()
 
         good_output_tokens = sum(
             r.generated

@@ -119,6 +119,45 @@ class PagedKVManager:
         fragmentation at block granularity): ``1 - utilization``."""
         return 1.0 - self.utilization()
 
+    def freelist_fragmentation(self) -> float:
+        """Scatter of the free list: ``1 - longest_contiguous_run / free``.
+
+        0.0 means every free block sits in one contiguous id range (a
+        fresh or fully-drained pool); values near 1.0 mean the LIFO churn
+        of allocate/free has interleaved live and free blocks.  Paged
+        attention gathers per block so this costs nothing *here* — the
+        gauge exists because the ROADMAP's prefix-caching and defrag
+        items need the decision signal."""
+        n = len(self._free)
+        if n <= 1:
+            return 0.0
+        ids = np.sort(np.asarray(self._free, dtype=np.int64))
+        breaks = np.flatnonzero(np.diff(ids) != 1)
+        bounds = np.concatenate(([-1], breaks, [n - 1]))
+        longest = int(np.max(np.diff(bounds)))
+        return 1.0 - longest / n
+
+    def refcount_distribution(self) -> dict[int, int]:
+        """Histogram of live block refcounts ``{refcount: blocks}`` — the
+        pool-level sharing profile (rc > 1 = prefix-shared blocks)."""
+        live = self._rc[self._rc > 0]
+        counts, freq = np.unique(live, return_counts=True)
+        return {int(c): int(f) for c, f in zip(counts, freq)}
+
+    def blocks_of_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Block counts held by the given stable rows (vectorized gather;
+        rows must be live — see :meth:`sequence_row`)."""
+        return self._block_capacity[rows]
+
+    def sequence_shared_blocks(self, seq_id: int) -> int:
+        """How many of the sequence's blocks are shared (rc > 1) with
+        another sequence — its prefix-cache footprint discount."""
+        blocks = self._blocks_at[self.sequence_row(seq_id)]
+        assert blocks is not None
+        if not blocks:
+            return 0
+        return int(np.count_nonzero(self._rc[np.asarray(blocks)] > 1))
+
     # ------------------------------------------------------------------
     # Allocation
     # ------------------------------------------------------------------

@@ -63,6 +63,14 @@ class StepPhaseProfiler:
         """Count one compute iteration (a batch actually stepped)."""
         self.steps += 1
 
+    def reset(self) -> None:
+        """Zero every accumulator so the profiler can be reused across
+        engine runs without leaking the previous run's time."""
+        for phase in PHASES:
+            self.seconds[phase] = 0.0
+        self.steps = 0
+        self._mark = 0.0
+
     def overhead_seconds(self) -> float:
         """Total engine bookkeeping time (every phase except ``model``)."""
         return sum(self.seconds[p] for p in OVERHEAD_PHASES)

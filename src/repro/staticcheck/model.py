@@ -35,7 +35,10 @@ HOT_PATH_PREFIXES: tuple[str, ...] = ("core/", "kernels/", "gpu/")
 #: ``obs/live/`` is included so live-observability aggregation stays on
 #: the simulated clock (wall-clock reads would break replay determinism).
 DET_PREFIXES: tuple[str, ...] = ("core/", "kernels/", "obs/live/")
-DET_FILES: tuple[str, ...] = ("serving/faults.py",)
+#: Individual files under the same determinism contract: the fault plan
+#: (seeded draws drive chaos replay) and the cost ledger (attribution must
+#: be bit-reproducible across identical runs — no wall clock, no RNG).
+DET_FILES: tuple[str, ...] = ("serving/faults.py", "obs/attrib.py")
 
 #: Public-API annotation scope.
 API_PREFIXES: tuple[str, ...] = ("core/", "serving/")

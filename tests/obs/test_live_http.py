@@ -46,6 +46,15 @@ def live():
     bundle.slo.record(0.6, met=False, request_id=2)
     bundle.heartbeat(0.7, {"serving.step_seconds": 0.01,
                            "serving.batch_size": 2.0})
+    # Mirror request 1 into the cost ledger so /attribution and the
+    # per-request attribution field have data to serve.
+    bundle.attrib.queued(1, arrival_time=0.0)
+    bundle.attrib.admitted(1, 0.1, kv_blocks=2)
+    bundle.attrib.prefill_done(1)
+    bundle.attrib.first_token(1)
+    bundle.attrib.step_cost(0.4, gemm=0.2, attention=0.1, kv_dequant=0.05,
+                            overhead=0.05)
+    bundle.attrib.close(1, 0.5, "finished")
     return bundle
 
 
@@ -106,6 +115,25 @@ class TestRoutes:
         assert doc["failure_reason"] == "kv exhausted"
         events = [e["event"] for e in doc["timeline"]]
         assert events == ["queued", "failed"]
+        # Request 2 is tracked by flights but not by the cost ledger —
+        # the attribution field is present but null.
+        assert doc["attribution"] is None
+
+    def test_request_detail_carries_attribution(self, server):
+        status, doc = _get_json(server.url + "/requests/1")
+        assert status == 200
+        attrib = doc["attribution"]
+        assert attrib["outcome"] == "finished"
+        assert attrib["queue_seconds"] == pytest.approx(0.1)
+        assert attrib["decode"]["gemm"] == pytest.approx(0.2)
+        assert doc["phases"]["queue"] == pytest.approx(0.1)
+
+    def test_attribution_snapshot(self, server):
+        status, doc = _get_json(server.url + "/attribution")
+        assert status == 200
+        assert doc["completed"] == 1
+        assert doc["records"][0]["request_id"] == 1
+        assert doc["aggregate"]["dominant"] in doc["aggregate"]["fractions"]
 
     def test_trailing_slash_is_tolerated(self, server):
         status, _ = _get_json(server.url + "/healthz/")
@@ -117,6 +145,9 @@ class TestErrors:
         status, doc = _get_json(server.url + "/requests/999")
         assert status == 404
         assert "not tracked" in doc["error"]
+        assert doc["request_id"] == 999
+        assert doc["completed"] == 2
+        assert "hint" in doc
 
     def test_bad_request_id_400(self, server):
         status, doc = _get_json(server.url + "/requests/abc")
@@ -132,7 +163,8 @@ class TestErrors:
         srv = LiveHTTPServer(live=None)
         srv.start()
         try:
-            for path in ("/slo", "/windows", "/requests", "/requests/1"):
+            for path in ("/slo", "/windows", "/requests", "/requests/1",
+                         "/attribution"):
                 status, doc = _get_json(srv.url + path)
                 assert status == 503, path
                 assert "no live" in doc["error"]

@@ -1,0 +1,154 @@
+"""Unit coverage for :mod:`repro.serving.stepprof` (StepPhaseProfiler).
+
+The profiler measures *host* wall time by design; the tests substitute a
+deterministic fake clock so phase charging, nesting, zero-duration steps,
+and reset-between-runs semantics are asserted exactly.
+"""
+
+import pytest
+
+import repro.serving.stepprof as stepprof
+from repro.serving.stepprof import OVERHEAD_PHASES, PHASES, StepPhaseProfiler
+
+
+class FakeClock:
+    """Deterministic perf_counter stand-in: advances by queued deltas."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.pending = 0.0
+
+    def tick(self, dt):
+        self.pending += dt
+
+    def __call__(self):
+        self.now += self.pending
+        self.pending = 0.0
+        return self.now
+
+
+@pytest.fixture()
+def clock(monkeypatch):
+    fake = FakeClock()
+    monkeypatch.setattr(stepprof.time, "perf_counter", fake)
+    return fake
+
+
+class TestCharging:
+    def test_lap_charges_elapsed_to_phase(self, clock):
+        prof = StepPhaseProfiler()
+        prof.begin()
+        clock.tick(0.010)
+        prof.lap("admit")
+        clock.tick(0.002)
+        prof.lap("model")
+        assert prof.seconds["admit"] == pytest.approx(0.010)
+        assert prof.seconds["model"] == pytest.approx(0.002)
+        assert prof.seconds["decode"] == 0.0
+
+    def test_phase_nesting_accumulates(self, clock):
+        """The engine laps the same phase twice per iteration (schedule
+        runs before and after the batch rebuild): charges accumulate."""
+        prof = StepPhaseProfiler()
+        prof.begin()
+        clock.tick(0.004)
+        prof.lap("schedule")
+        clock.tick(0.001)
+        prof.lap("decode")
+        clock.tick(0.003)
+        prof.lap("schedule")
+        assert prof.seconds["schedule"] == pytest.approx(0.007)
+        assert prof.seconds["decode"] == pytest.approx(0.001)
+
+    def test_unknown_phase_raises(self, clock):
+        prof = StepPhaseProfiler()
+        prof.begin()
+        with pytest.raises(KeyError):
+            prof.lap("warp-speed")
+
+    def test_overhead_excludes_model(self, clock):
+        prof = StepPhaseProfiler()
+        prof.begin()
+        for phase in PHASES:
+            clock.tick(0.001)
+            prof.lap(phase)
+        assert prof.overhead_seconds() == pytest.approx(
+            0.001 * len(OVERHEAD_PHASES)
+        )
+
+
+class TestZeroDuration:
+    def test_zero_duration_steps_charge_nothing(self, clock):
+        prof = StepPhaseProfiler()
+        prof.begin()
+        prof.lap("admit")  # no clock movement between marks
+        prof.step()
+        assert prof.seconds["admit"] == 0.0
+        per_step = prof.per_step_us()
+        assert per_step["total"] == 0.0
+        assert per_step["overhead"] == 0.0
+
+    def test_per_step_us_with_no_steps_does_not_divide_by_zero(self, clock):
+        prof = StepPhaseProfiler()
+        prof.begin()
+        clock.tick(0.005)
+        prof.lap("admit")
+        per_step = prof.per_step_us()  # steps == 0 -> normalized by 1
+        assert per_step["admit"] == pytest.approx(5000.0)
+
+    def test_per_step_normalizes_by_compute_steps(self, clock):
+        prof = StepPhaseProfiler()
+        for _ in range(4):
+            prof.begin()
+            prof.step()
+            clock.tick(0.002)
+            prof.lap("decode")
+        assert prof.per_step_us()["decode"] == pytest.approx(2000.0)
+
+
+class TestReset:
+    def test_reset_zeroes_everything(self, clock):
+        prof = StepPhaseProfiler()
+        prof.begin()
+        clock.tick(0.010)
+        prof.lap("model")
+        prof.step()
+        prof.reset()
+        assert prof.steps == 0
+        assert all(prof.seconds[p] == 0.0 for p in PHASES)
+        assert prof.overhead_seconds() == 0.0
+
+    def test_reused_profiler_matches_fresh_one(self, clock):
+        """reset() between runs == a brand-new profiler (no leakage)."""
+
+        def run(prof):
+            prof.begin()
+            prof.step()
+            clock.tick(0.003)
+            prof.lap("schedule")
+            clock.tick(0.001)
+            prof.lap("heartbeat")
+
+        reused = StepPhaseProfiler()
+        run(reused)  # first run, about to be discarded
+        reused.reset()
+        run(reused)
+        fresh = StepPhaseProfiler()
+        run(fresh)
+        for phase in PHASES:
+            assert reused.seconds[phase] == pytest.approx(
+                fresh.seconds[phase], abs=1e-12
+            )
+        assert reused.steps == fresh.steps
+
+    def test_reset_clears_the_pending_mark(self, clock):
+        prof = StepPhaseProfiler()
+        prof.begin()
+        clock.tick(0.500)
+        prof.reset()
+        # A reset mid-iteration must not leak the half-open interval into
+        # the next run's first lap.
+        prof.begin()
+        clock.tick(0.001)
+        prof.lap("admit")
+        assert prof.seconds["admit"] == pytest.approx(0.001)

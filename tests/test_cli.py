@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -16,6 +18,12 @@ class TestParser:
                     "stats", "top"):
             args = parser.parse_args([cmd] if cmd != "serve" else [cmd])
             assert args.command == cmd
+
+    def test_analyze_subcommand_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["analyze", "snap.json", "--top", "3"])
+        assert args.command == "analyze"
+        assert args.top == 3
 
 
 class TestModels:
@@ -102,6 +110,98 @@ class TestTop:
         assert rc == 0
         out = capsys.readouterr().out
         assert "serving.step_seconds" in out  # window table rendered
+
+    def test_once_json_stdout_is_pure_json(self, capsys):
+        rc = main([
+            "top", "--model", "llama-3-8b", "--system", "comet",
+            "--requests", "12", "--batch", "8", "--quiet",
+            "--once", "--json", "-",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out)  # nothing but the JSON document on stdout
+        assert set(doc) == {"snapshot", "report", "slo_final"}
+        attrib = doc["snapshot"]["attrib"]
+        assert attrib["completed"] == 12
+        assert attrib["aggregate"]["dominant"] in attrib["aggregate"][
+            "fractions"
+        ]
+        report = doc["report"]
+        # Overload scenario: every request closes somehow, not all finish.
+        accounted = (
+            report["requests_completed"] + report["requests_failed"]
+            + report["requests_rejected"] + report["requests_timed_out"]
+        )
+        assert accounted == 12
+        assert "throughput" in report
+
+    def test_json_to_file(self, tmp_path, capsys):
+        out_path = tmp_path / "top.json"
+        rc = main([
+            "top", "--model", "llama-3-8b", "--system", "comet",
+            "--requests", "8", "--batch", "8", "--quiet", "--once",
+            "--json", str(out_path),
+        ])
+        assert rc == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["snapshot"]["attrib"]["completed"] == 8
+
+
+class TestAnalyze:
+    @pytest.fixture(autouse=True)
+    def _obs_off(self):
+        import repro.obs as obs
+
+        obs.disable()
+        yield
+        obs.disable()
+
+    def _record_run(self, tmp_path):
+        snap = tmp_path / "run.prom"
+        rc = main([
+            "top", "--model", "llama-3-8b", "--system", "comet",
+            "--requests", "24", "--batch", "8", "--quiet", "--once",
+            "--faults", "--emit-metrics", str(snap),
+        ])
+        assert rc == 0
+        return snap
+
+    def test_analyze_recorded_run(self, tmp_path, capsys):
+        snap = self._record_run(tmp_path)
+        capsys.readouterr()
+        report = tmp_path / "analysis.json"
+        rc = main([
+            "analyze", str(snap), "--top", "3", "--json", str(report),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "tail latency" in out
+        doc = json.loads(report.read_text())
+        assert doc["requests"] == 24
+        assert len(doc["tail"]["slowest"]) == 3
+        assert doc["critical_path"]["dominant"] in {
+            e["name"] for e in doc["critical_path"]["path"]
+        }
+        # The chrome trace next to the snapshot was auto-discovered.
+        assert doc["trace"]["step_kinds"]
+
+    def test_analyze_resolves_bare_prefix(self, tmp_path, capsys):
+        """`analyze PATH` accepts the bare --emit-metrics prefix (the
+        .prom file) and finds the .json snapshot beside it."""
+        snap = self._record_run(tmp_path)
+        capsys.readouterr()
+        assert main(["analyze", str(snap)]) == 0
+        assert "critical path" in capsys.readouterr().out
+
+    def test_analyze_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "nope.json")]) == 2
+
+    def test_analyze_snapshot_without_ledger_exits_2(self, tmp_path, capsys):
+        bare = tmp_path / "bare.json"
+        bare.write_text(json.dumps({"live": {}}))
+        assert main(["analyze", str(bare)]) == 2
+        assert "live.attrib" in capsys.readouterr().err
 
 
 class TestQuantize:
